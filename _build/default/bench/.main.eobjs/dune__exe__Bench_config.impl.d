@@ -1,0 +1,1 @@
+bench/bench_config.ml: Ascy_platform Printf Sys

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Ascy_core Ascy_harness Ascy_platform Ascylib Bench_config List Printf Registry

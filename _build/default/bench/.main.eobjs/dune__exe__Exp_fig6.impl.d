@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Ascy_core Ascy_harness Ascy_mem Ascy_platform Ascy_util Ascylib Bench_config List Printf Registry

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Ascy_harness Ascy_platform Ascylib Bench_config List Printf Registry

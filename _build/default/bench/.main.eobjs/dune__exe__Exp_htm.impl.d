@@ -1,0 +1,1 @@
+bench/exp_htm.ml: Ascy_core Ascy_harness Ascy_platform Ascylib Bench_config Fun List Printf Registry

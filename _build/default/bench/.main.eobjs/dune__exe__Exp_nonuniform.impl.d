@@ -1,0 +1,1 @@
+bench/exp_nonuniform.ml: Array Ascy_harness Ascy_mem Ascy_platform Ascy_util Ascylib Bench_config List Registry

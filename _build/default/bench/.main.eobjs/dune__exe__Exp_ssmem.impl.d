@@ -1,0 +1,1 @@
+bench/exp_ssmem.ml: Array Ascy_core Ascy_harness Ascy_mem Ascy_platform Ascylib Bench_config Fun List Registry

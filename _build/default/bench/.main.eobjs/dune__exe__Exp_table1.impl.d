@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Ascy_core Ascy_harness Ascylib Bench_config List Printf Registry

@@ -1,0 +1,1 @@
+bench/main.ml: Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_htm Exp_nonuniform Exp_ssmem Exp_table1 List Micro Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Ascy_core Ascy_mem Ascylib Bechamel Bench_config Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit

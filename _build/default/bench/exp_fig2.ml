@@ -1,0 +1,91 @@
+(* Figure 2: cross-platform throughput of every CSDS.
+
+   (a) thread sweep at average contention (per family, on the sweep
+       platform) with the scalability ratio versus one thread;
+   (b) high- and low-contention points at 20 threads across platforms.
+
+   Structure sizes are scaled by the bench mode; shapes, orderings and
+   crossovers are what is compared against the paper. *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let families =
+  [
+    (Ascy_core.Ascy.Linked_list, "Linked lists (Fig. 2a)");
+    (Ascy_core.Ascy.Hash_table, "Hash tables (Fig. 2b)");
+    (Ascy_core.Ascy.Skip_list, "Skip lists (Fig. 2c)");
+    (Ascy_core.Ascy.Bst, "BSTs (Fig. 2d)");
+  ]
+
+let elems family n =
+  match family with
+  | Ascy_core.Ascy.Linked_list -> Bench_config.list_elems n
+  | _ -> Bench_config.tree_elems n
+
+let workload family ~initial ~update_pct =
+  W.make ~initial:(elems family initial) ~update_pct ()
+
+let entries family =
+  (* drop the second async BST baseline to keep the tables compact *)
+  List.filter (fun (x : Registry.entry) -> x.Registry.name <> "bst-async-int") (Registry.by_family family)
+
+let sweep family title =
+  let wl = workload family ~initial:4096 ~update_pct:10 in
+  let threads = Bench_config.sweep_threads in
+  let platform = Ascy_platform.Platform.xeon20 in
+  let rows =
+    List.map
+      (fun (x : Registry.entry) ->
+        let tputs =
+          List.map
+            (fun n ->
+              let r =
+                R.run x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                  ~ops_per_thread:Bench_config.ops_per_thread ()
+              in
+              r.R.throughput_mops)
+            threads
+        in
+        let t1 = List.hd tputs and tn = List.nth tputs (List.length tputs - 1) in
+        x.Registry.name :: List.map Rep.f2 tputs
+        @ [ (if t1 > 0.0 then Rep.f1 (tn /. t1) else "-") ])
+      (entries family)
+  in
+  Rep.table ~title:(title ^ " — avg contention (10% upd), Xeon20, Mops/s")
+    (("algorithm" :: List.map (fun n -> Printf.sprintf "%dthr" n) threads) @ [ "scal" ])
+    rows
+
+let contention family title ~initial ~update_pct label =
+  let wl = workload family ~initial ~update_pct in
+  let rows =
+    List.map
+      (fun (x : Registry.entry) ->
+        x.Registry.name
+        :: List.map
+             (fun p ->
+               let nthreads = min Bench_config.base_threads (Ascy_platform.Platform.hw_threads p) in
+               let r =
+                 R.run x.Registry.maker ~platform:p ~nthreads ~workload:wl
+                   ~ops_per_thread:Bench_config.ops_per_thread ()
+               in
+               Rep.f2 r.R.throughput_mops)
+             Bench_config.platforms)
+      (entries family)
+  in
+  Rep.table
+    ~title:(Printf.sprintf "%s — %s contention (%d el, %d%% upd), 20 threads, Mops/s" title label
+              (elems family initial) update_pct)
+    ("algorithm" :: List.map (fun p -> p.Ascy_platform.Platform.name) Bench_config.platforms)
+    rows
+
+let run () =
+  Bench_config.section "Figure 2 — cross-platform evaluation of all CSDSs";
+  List.iter
+    (fun (family, title) ->
+      sweep family title;
+      contention family title ~initial:512 ~update_pct:25 "high";
+      contention family title ~initial:16384 ~update_pct:10 "low")
+    families

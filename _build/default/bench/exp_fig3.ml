@@ -1,0 +1,35 @@
+(* Figure 3: cache misses per operation versus scalability, linked
+   lists, 4096 elements (scaled), 10% updates, 20 threads.
+
+   The paper's point: the fewer cache misses per operation an algorithm
+   generates, the better it scales — async fewest, coupling/copy worst. *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let run () =
+  Bench_config.section "Figure 3 — cache misses/op vs scalability (linked lists)";
+  let wl = W.make ~initial:(Bench_config.list_elems 4096) ~update_pct:10 () in
+  let platform = Ascy_platform.Platform.xeon20 in
+  let rows =
+    List.map
+      (fun (x : Registry.entry) ->
+        let r1 =
+          R.run x.Registry.maker ~platform ~nthreads:1 ~workload:wl
+            ~ops_per_thread:Bench_config.ops_per_thread ()
+        in
+        let r20 =
+          R.run x.Registry.maker ~platform ~nthreads:20 ~workload:wl
+            ~ops_per_thread:Bench_config.ops_per_thread ()
+        in
+        let scal =
+          if r1.R.throughput_mops > 0.0 then r20.R.throughput_mops /. r1.R.throughput_mops else 0.0
+        in
+        [ x.Registry.name; Rep.f2 (R.misses_per_op r20); Rep.f1 scal; Rep.f2 r20.R.throughput_mops ])
+      (Registry.by_family Ascy_core.Ascy.Linked_list)
+  in
+  Rep.table ~title:"misses/op and scalability at 20 threads (Xeon20)"
+    [ "algorithm"; "misses/op"; "scalability"; "Mops/s" ]
+    rows

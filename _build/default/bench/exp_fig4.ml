@@ -1,0 +1,58 @@
+(* Figure 4 (ASCY1): linked list, 1024 elements, 5% updates.
+
+   (a) total throughput vs threads, (b) power relative to async,
+   (c) average search latency, (d) search latency distribution
+   (1/25/50/75/99 percentiles) — harris/michael vs harris-opt is the
+   headline: removing stores/restarts from the search buys 10-30%. *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module H = Ascy_util.Histogram
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let algos =
+  [ "ll-async"; "ll-lazy"; "ll-pugh"; "ll-copy"; "ll-harris"; "ll-michael"; "ll-harris-opt" ]
+
+let run () =
+  Bench_config.section "Figure 4 — ASCY1 on linked lists (1024 el, 5% upd)";
+  let wl = W.make ~initial:(Bench_config.list_elems 1024 * 2) ~update_pct:5 () in
+  let platform = Ascy_platform.Platform.xeon20 in
+  let threads = Bench_config.sweep_threads in
+  let results =
+    List.map
+      (fun name ->
+        let x = Registry.by_name name in
+        let sweep =
+          List.map
+            (fun n ->
+              R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                ~ops_per_thread:Bench_config.ops_per_thread ())
+            threads
+        in
+        (name, sweep))
+      algos
+  in
+  let last rs = List.nth rs (List.length rs - 1) in
+  let base_power = (last (List.assoc "ll-async" results)).R.stats.Ascy_mem.Sim.power_w in
+  let rows =
+    List.map
+      (fun (name, rs) ->
+        let r = last rs in
+        let lat = r.R.latencies in
+        let merged = H.create () in
+        let merged = H.merge merged lat.R.search_hit in
+        let merged = H.merge merged lat.R.search_miss in
+        name
+        :: List.map (fun r -> Rep.f2 r.R.throughput_mops) rs
+        @ [
+            Rep.ratio r.R.stats.Ascy_mem.Sim.power_w base_power;
+            Rep.f1 (H.mean merged);
+            Rep.percentiles merged;
+          ])
+      results
+  in
+  Rep.table ~title:"throughput (Mops/s per thread count), relative power, search latency (ns)"
+    (("algorithm" :: List.map (Printf.sprintf "%dthr") threads)
+    @ [ "power/async"; "search ns"; "p1/25/50/75/99" ])
+    rows

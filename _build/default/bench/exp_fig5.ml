@@ -1,0 +1,79 @@
+(* Figure 5 (ASCY2): skip list, 1024 elements, 20% updates.
+
+   Throughput, relative power, average update latency, update latency
+   distribution, plus the paper's fraser vs fraser-opt extra-parse rates
+   (0.38/1.07/1.82 % shrinking to 0.03/0.09/0.17 %). *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module H = Ascy_util.Histogram
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let algos = [ "sl-async"; "sl-pugh"; "sl-herlihy"; "sl-fraser"; "sl-fraser-opt" ]
+
+let run () =
+  Bench_config.section "Figure 5 — ASCY2 on skip lists (1024 el, 20% upd)";
+  let wl = W.make ~initial:(Bench_config.tree_elems 1024) ~update_pct:20 () in
+  let platform = Ascy_platform.Platform.xeon20 in
+  let threads = Bench_config.sweep_threads in
+  let results =
+    List.map
+      (fun name ->
+        let x = Registry.by_name name in
+        ( name,
+          List.map
+            (fun n ->
+              R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                ~ops_per_thread:Bench_config.ops_per_thread ())
+            threads ))
+      algos
+  in
+  let last rs = List.nth rs (List.length rs - 1) in
+  let base_power = (last (List.assoc "sl-async" results)).R.stats.Ascy_mem.Sim.power_w in
+  let update_hist (r : R.result) =
+    let h = H.create () in
+    let h = H.merge h r.R.latencies.R.insert_ok in
+    let h = H.merge h r.R.latencies.R.insert_fail in
+    let h = H.merge h r.R.latencies.R.remove_ok in
+    H.merge h r.R.latencies.R.remove_fail
+  in
+  let rows =
+    List.map
+      (fun (name, rs) ->
+        let r = last rs in
+        let uh = update_hist r in
+        name
+        :: List.map (fun r -> Rep.f2 r.R.throughput_mops) rs
+        @ [
+            Rep.ratio r.R.stats.Ascy_mem.Sim.power_w base_power;
+            Rep.f1 (H.mean uh);
+            Rep.percentiles uh;
+            Rep.f2 (R.extra_parse_pct r);
+          ])
+      results
+  in
+  Rep.table
+    ~title:"throughput, relative power, update latency (ns), extra parses (% of updates)"
+    (("algorithm" :: List.map (Printf.sprintf "%dthr") threads)
+    @ [ "power/async"; "upd ns"; "p1/25/50/75/99"; "extra-parse%" ])
+    rows;
+  (* the ASCY2 headline numbers at several thread counts *)
+  let parse_rows =
+    List.map
+      (fun name ->
+        let x = Registry.by_name name in
+        name
+        :: List.map
+             (fun n ->
+               let r =
+                 R.run x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                   ~ops_per_thread:Bench_config.ops_per_thread ()
+               in
+               Rep.f2 (R.extra_parse_pct r))
+             threads)
+      [ "sl-fraser"; "sl-fraser-opt" ]
+  in
+  Rep.table ~title:"extra parses (%): fraser restarts vs fraser-opt local retries"
+    ("algorithm" :: List.map (Printf.sprintf "%dthr") threads)
+    parse_rows

@@ -1,0 +1,75 @@
+(* Figure 6 (ASCY3): hash table, 8192 elements/buckets, 10% updates.
+
+   Each algorithm with and without read-only failures ("-no" = stores on
+   unsuccessful updates).  Throughput, relative power, unsuccessful-update
+   latency (the paper's 1.5-4x gap), and the update latency distribution. *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module H = Ascy_util.Histogram
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let algos = [ "ht-lazy"; "ht-pugh"; "ht-copy"; "ht-java" ]
+
+(* wrap a maker with read_only_fail forced off *)
+module type MAKER = Ascy_core.Set_intf.MAKER
+
+let no_rof (module A : MAKER) : (module MAKER) =
+  (module functor (Mem : Ascy_mem.Memory.S) -> struct
+    include A (Mem)
+
+    let create ?hint ?read_only_fail:_ () = create ?hint ~read_only_fail:false ()
+  end)
+
+let run () =
+  Bench_config.section "Figure 6 — ASCY3 on hash tables (8192 el, 10% upd)";
+  let initial = Bench_config.tree_elems 8192 in
+  let wl = W.make ~initial ~update_pct:10 () in
+  let platform = Ascy_platform.Platform.xeon20 in
+  let nthreads = Bench_config.base_threads in
+  let async = Registry.by_name "ht-async" in
+  let base =
+    R.run ~latency:true async.Registry.maker ~platform ~nthreads ~workload:wl
+      ~ops_per_thread:Bench_config.ops_per_thread ()
+  in
+  let fail_hist (r : R.result) =
+    let h = H.create () in
+    let h = H.merge h r.R.latencies.R.insert_fail in
+    H.merge h r.R.latencies.R.remove_fail
+  in
+  let ok_hist (r : R.result) =
+    let h = H.create () in
+    let h = H.merge h r.R.latencies.R.insert_ok in
+    H.merge h r.R.latencies.R.remove_ok
+  in
+  let row name maker =
+    let r =
+      R.run ~latency:true maker ~platform ~nthreads ~workload:wl
+        ~ops_per_thread:Bench_config.ops_per_thread ()
+    in
+    [
+      name;
+      Rep.f2 r.R.throughput_mops;
+      Rep.ratio r.R.stats.Ascy_mem.Sim.power_w base.R.stats.Ascy_mem.Sim.power_w;
+      Rep.f1 (H.mean (fail_hist r));
+      Rep.f1 (H.mean (ok_hist r));
+      Rep.percentiles (ok_hist r);
+    ]
+  in
+  let rows =
+    row "ht-async" async.Registry.maker
+    :: List.concat_map
+         (fun name ->
+           let x = Registry.by_name name in
+           [ row name x.Registry.maker; row (name ^ "-no") (no_rof x.Registry.maker) ])
+         algos
+  in
+  Rep.table
+    ~title:
+      (Printf.sprintf
+         "read-only fail on/off at %d threads: throughput, power, unsuccessful vs successful \
+          update latency (ns)"
+         nthreads)
+    [ "algorithm"; "Mops/s"; "power/async"; "fail-upd ns"; "ok-upd ns"; "ok p1/25/50/75/99" ]
+    rows

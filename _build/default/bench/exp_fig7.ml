@@ -1,0 +1,67 @@
+(* Figure 7 (ASCY4): BSTs, 2048 elements, 20% updates.
+
+   Throughput, relative power, average update latency, successful-op
+   latency distribution, and the atomic-operations-per-successful-update
+   count (natarajan ~2 vs >3 for the helping/locking designs). *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module H = Ascy_util.Histogram
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let algos =
+  [
+    "bst-async-int";
+    "bst-async-ext";
+    "bst-bronson";
+    "bst-drachsler";
+    "bst-ellen";
+    "bst-howley";
+    "bst-natarajan";
+    "bst-tk";
+  ]
+
+let run () =
+  Bench_config.section "Figure 7 — ASCY4 on BSTs (2048 el, 20% upd)";
+  let wl = W.make ~initial:(Bench_config.tree_elems 2048) ~update_pct:20 () in
+  let platform = Ascy_platform.Platform.xeon20 in
+  let threads = Bench_config.sweep_threads in
+  let results =
+    List.map
+      (fun name ->
+        let x = Registry.by_name name in
+        ( name,
+          List.map
+            (fun n ->
+              R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                ~ops_per_thread:Bench_config.ops_per_thread ())
+            threads ))
+      algos
+  in
+  let last rs = List.nth rs (List.length rs - 1) in
+  let base_power = (last (List.assoc "bst-async-ext" results)).R.stats.Ascy_mem.Sim.power_w in
+  let ok_hist (r : R.result) =
+    let h = H.create () in
+    let h = H.merge h r.R.latencies.R.search_hit in
+    let h = H.merge h r.R.latencies.R.insert_ok in
+    H.merge h r.R.latencies.R.remove_ok
+  in
+  let rows =
+    List.map
+      (fun (name, rs) ->
+        let r = last rs in
+        name
+        :: List.map (fun r -> Rep.f2 r.R.throughput_mops) rs
+        @ [
+            Rep.ratio r.R.stats.Ascy_mem.Sim.power_w base_power;
+            Rep.f2 (R.atomics_per_update r);
+            Rep.percentiles (ok_hist r);
+          ])
+      results
+  in
+  Rep.table
+    ~title:"throughput, relative power, atomics per successful update, successful-op latency (ns)"
+    (("algorithm" :: List.map (Printf.sprintf "%dthr") threads)
+    @ [ "power/async"; "atomics/upd"; "ok p1/25/50/75/99" ])
+    rows

@@ -1,0 +1,50 @@
+(* Figure 8: CLHT (lb and lf) vs the pugh hash table — 4096 elements, 20
+   threads, update rates {0, 1, 20, 100} %, across platforms.  The
+   paper's result: clht-lb +23% and clht-lf +13% over pugh on average,
+   thanks to single-cache-line buckets and in-place updates. *)
+
+open Ascylib
+module W = Ascy_harness.Workload
+module R = Ascy_harness.Sim_run
+module Rep = Ascy_harness.Report
+
+let algos = [ "ht-pugh"; "ht-clht-lb"; "ht-clht-lf" ]
+let rates = [ 0; 1; 20; 100 ]
+
+let run () =
+  Bench_config.section "Figure 8 — CLHT vs pugh hash table (4096 el, 20 threads)";
+  let initial = Bench_config.tree_elems 4096 in
+  List.iter
+    (fun p ->
+      let nthreads = min Bench_config.base_threads (Ascy_platform.Platform.hw_threads p) in
+      let rows =
+        List.map
+          (fun name ->
+            let x = Registry.by_name name in
+            name
+            :: List.concat_map
+                 (fun rate ->
+                   let wl = W.make ~initial ~update_pct:rate () in
+                   let r1 =
+                     R.run x.Registry.maker ~platform:p ~nthreads:1 ~workload:wl
+                       ~ops_per_thread:Bench_config.ops_per_thread ()
+                   in
+                   let r =
+                     R.run x.Registry.maker ~platform:p ~nthreads ~workload:wl
+                       ~ops_per_thread:Bench_config.ops_per_thread ()
+                   in
+                   [
+                     Rep.f2 r.R.throughput_mops;
+                     (if r1.R.throughput_mops > 0.0 then
+                        Rep.f1 (r.R.throughput_mops /. r1.R.throughput_mops)
+                      else "-");
+                   ])
+                 rates)
+          algos
+      in
+      Rep.table
+        ~title:(Printf.sprintf "%s — Mops/s and scalability per update rate" p.Ascy_platform.Platform.name)
+        ("algorithm"
+        :: List.concat_map (fun r -> [ Printf.sprintf "%d%% Mops" r; "scal" ]) rates)
+        rows)
+    Bench_config.platforms

@@ -1,0 +1,22 @@
+(* Table 1: the algorithm catalogue, with synchronization class and ASCY
+   compliance under the default configuration. *)
+
+open Ascylib
+
+let run () =
+  Bench_config.section "Table 1 — CSDS algorithms in ASCYLIB-OCaml";
+  let rows =
+    List.map
+      (fun (x : Registry.entry) ->
+        [
+          x.Registry.name;
+          Ascy_core.Ascy.family_to_string x.Registry.family;
+          Ascy_core.Ascy.sync_to_string x.Registry.sync;
+          Ascy_core.Ascy.to_string x.Registry.ascy;
+          x.Registry.desc;
+        ])
+      Registry.all
+  in
+  Ascy_harness.Report.table ~title:(Printf.sprintf "%d implementations" (List.length Registry.all))
+    [ "name"; "family"; "type"; "ASCY"; "description" ]
+    rows

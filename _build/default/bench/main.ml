@@ -1,0 +1,42 @@
+(* ASCYLIB-OCaml benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation (see
+   DESIGN.md's experiment index).  Simulated experiments run on the
+   modeled platforms; the Bechamel suite measures real native
+   per-operation cost.  ASCY_BENCH_MODE=quick|default|full scales the
+   sweeps; ASCY_BENCH_ONLY=fig4 (comma-separated) selects experiments. *)
+
+let experiments =
+  [
+    ("table1", Exp_table1.run);
+    ("micro", Micro.run);
+    ("fig2", Exp_fig2.run);
+    ("fig3", Exp_fig3.run);
+    ("fig4", Exp_fig4.run);
+    ("fig5", Exp_fig5.run);
+    ("fig6", Exp_fig6.run);
+    ("fig7", Exp_fig7.run);
+    ("fig8", Exp_fig8.run);
+    ("fig9", Exp_fig9.run);
+    ("htm", Exp_htm.run);
+    ("ssmem", Exp_ssmem.run);
+    ("nonuniform", Exp_nonuniform.run);
+  ]
+
+let () =
+  let only =
+    match Sys.getenv_opt "ASCY_BENCH_ONLY" with
+    | None -> None
+    | Some s -> Some (String.split_on_char ',' s)
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      match only with
+      | Some names when not (List.mem name names) -> ()
+      | _ ->
+          let t = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    experiments;
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,62 @@
+(* Bechamel micro-benchmarks: real (native, single-thread) per-operation
+   cost of every implementation — the one hardware measurement a
+   single-core host supports honestly.  One grouped Test per Table-1
+   family. *)
+
+open Bechamel
+open Toolkit
+
+let mixed_test (x : Ascylib.Registry.entry) =
+  let module A = (val x.Ascylib.Registry.maker : Ascy_core.Set_intf.MAKER) in
+  let module M = A (Ascy_mem.Mem_native) in
+  Test.make ~name:x.Ascylib.Registry.name
+    (Staged.stage (fun () ->
+         let t = M.create ~hint:256 () in
+         for i = 1 to 128 do
+           ignore (M.insert t ((i * 37) land 255) i)
+         done;
+         for i = 1 to 256 do
+           ignore (M.search t ((i * 53) land 255));
+           ignore (M.insert t ((i * 11) land 255) i);
+           ignore (M.remove t ((i * 29) land 255))
+         done))
+
+let family_tests family name =
+  Test.make_grouped ~name
+    (List.map mixed_test (Ascylib.Registry.by_family family))
+
+let benchmark () =
+  let tests =
+    [
+      family_tests Ascy_core.Ascy.Linked_list "linked-list";
+      family_tests Ascy_core.Ascy.Hash_table "hash-table";
+      family_tests Ascy_core.Ascy.Skip_list "skip-list";
+      family_tests Ascy_core.Ascy.Bst "bst";
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  List.map
+    (fun test ->
+      Benchmark.all cfg instances test)
+    tests
+
+let analyze results =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  List.map (fun r -> Analyze.all ols Instance.monotonic_clock r) results
+
+let run () =
+  Bench_config.section "Bechamel — native single-thread mixed-op cost (512 ops per run)";
+  let results = benchmark () in
+  let analyses = analyze results in
+  List.iter
+    (fun a ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/iteration\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        a)
+    analyses

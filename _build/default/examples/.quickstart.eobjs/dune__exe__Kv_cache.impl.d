@@ -1,0 +1,1 @@
+examples/kv_cache.ml: Array Ascy_hashtable Ascy_mem Ascy_util Atomic Domain Printf Unix

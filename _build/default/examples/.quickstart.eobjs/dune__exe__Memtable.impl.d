@@ -1,0 +1,1 @@
+examples/memtable.ml: Array Ascy_mem Ascy_skiplist Ascy_util Atomic Domain Mutex Printf Unix

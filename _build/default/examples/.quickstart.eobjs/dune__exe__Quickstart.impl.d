@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ascy_hashtable Ascy_mem Ascy_util Ascylib Domain Option Printf

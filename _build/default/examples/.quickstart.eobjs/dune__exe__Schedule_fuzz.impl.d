@@ -1,0 +1,1 @@
+examples/schedule_fuzz.ml: Array Ascy_core Ascy_linkedlist Ascy_mem Ascy_platform Ascy_util Printf

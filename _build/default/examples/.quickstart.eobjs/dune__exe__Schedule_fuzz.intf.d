@@ -1,0 +1,1 @@
+examples/schedule_fuzz.mli:

@@ -1,0 +1,1 @@
+examples/sim_explore.ml: Ascy_harness Ascy_platform Ascylib List Printf

@@ -1,0 +1,1 @@
+examples/sim_explore.mli:

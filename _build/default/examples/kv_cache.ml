@@ -1,0 +1,65 @@
+(* A memcached-style concurrent KV cache on CLHT (the paper's motivating
+   use-case: concurrent hash tables are the backbone of memcached).
+
+   Several domains serve get/set/delete requests with a skewed key
+   popularity; the cache reports hit rate and throughput.
+
+   Run with: dune exec examples/kv_cache.exe *)
+
+module Cache = Ascy_hashtable.Clht_lb.Make (Ascy_mem.Mem_native)
+
+type stats = { mutable gets : int; mutable hits : int; mutable sets : int; mutable dels : int }
+
+let () =
+  let cache = Cache.create ~hint:16384 () in
+  let n_domains = 4 and duration = 2.0 in
+  let hot_keys = 1024 and cold_keys = 65536 in
+  let stop = Atomic.make false in
+  let worker d =
+    let rng = Ascy_util.Xorshift.create (d * 131 + 7) in
+    let st = { gets = 0; hits = 0; sets = 0; dels = 0 } in
+    while not (Atomic.get stop) do
+      (* 80% of traffic on the hot set, zipf-ish *)
+      let k =
+        if Ascy_util.Xorshift.bool rng 0.8 then Ascy_util.Xorshift.below rng hot_keys
+        else hot_keys + Ascy_util.Xorshift.below rng cold_keys
+      in
+      let r = Ascy_util.Xorshift.below rng 100 in
+      if r < 85 then begin
+        st.gets <- st.gets + 1;
+        match Cache.search cache k with
+        | Some _ -> st.hits <- st.hits + 1
+        | None ->
+            (* miss: fetch from the (simulated) backend and populate *)
+            ignore (Cache.insert cache k (Printf.sprintf "value-%d" k));
+            st.sets <- st.sets + 1
+      end
+      else if r < 95 then begin
+        ignore (Cache.insert cache k (Printf.sprintf "value-%d" k));
+        st.sets <- st.sets + 1
+      end
+      else begin
+        ignore (Cache.remove cache k);
+        st.dels <- st.dels + 1
+      end
+    done;
+    st
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains = Array.init n_domains (fun d -> Domain.spawn (fun () -> worker d)) in
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let sts = Array.map Domain.join domains in
+  let dt = Unix.gettimeofday () -. t0 in
+  let gets = Array.fold_left (fun a s -> a + s.gets) 0 sts in
+  let hits = Array.fold_left (fun a s -> a + s.hits) 0 sts in
+  let sets = Array.fold_left (fun a s -> a + s.sets) 0 sts in
+  let dels = Array.fold_left (fun a s -> a + s.dels) 0 sts in
+  Printf.printf "kv-cache on %s: %d domains, %.1fs\n" "ht-clht-lb" n_domains dt;
+  Printf.printf "  gets: %d (hit rate %.1f%%)\n" gets (100.0 *. float_of_int hits /. float_of_int (max gets 1));
+  Printf.printf "  sets: %d  deletes: %d\n" sets dels;
+  Printf.printf "  throughput: %.2f Mops/s\n" (float_of_int (gets + sets + dels) /. dt /. 1e6);
+  Printf.printf "  resident entries: %d\n" (Cache.size cache);
+  match Cache.validate cache with
+  | Ok () -> print_endline "  cache validates: ok"
+  | Error e -> failwith e

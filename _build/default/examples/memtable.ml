@@ -1,0 +1,54 @@
+(* A RocksDB-style memtable: a concurrent skip list absorbing a write
+   burst from several domains, periodically "flushed" when it exceeds a
+   size budget (the paper's intro: "skip lists are the backbone of
+   key-value stores such as RocksDB").
+
+   Run with: dune exec examples/memtable.exe *)
+
+module Memtable = Ascy_skiplist.Fraser_opt.Make (Ascy_mem.Mem_native)
+
+let () =
+  let flush_threshold = 20_000 in
+  let table = ref (Memtable.create ~hint:flush_threshold ()) in
+  let table_lock = Mutex.create () in
+  let flushes = ref 0 in
+  let flushed_entries = ref 0 in
+  let writes = Atomic.make 0 in
+
+  let n_writers = 4 and per_writer = 40_000 in
+  let writer d =
+    let rng = Ascy_util.Xorshift.create (d + 1001) in
+    for i = 1 to per_writer do
+      (* keys are roughly increasing, like log-structured writes *)
+      let k = (i * 16) + Ascy_util.Xorshift.below rng 16 + (d * per_writer * 32) in
+      if Memtable.insert !table k (Printf.sprintf "v%d.%d" d i) then
+        Atomic.incr writes;
+      (* cheap read-your-writes check *)
+      if i land 1023 = 0 then assert (Memtable.search !table k <> None);
+      (* flush when over budget: swap in a fresh memtable *)
+      if i land 255 = 0 && Memtable.size !table > flush_threshold then begin
+        Mutex.lock table_lock;
+        if Memtable.size !table > flush_threshold then begin
+          let old = !table in
+          table := Memtable.create ~hint:flush_threshold ();
+          incr flushes;
+          flushed_entries := !flushed_entries + Memtable.size old
+          (* `old` would now stream to an SSTable; the GC reclaims it *)
+        end;
+        Mutex.unlock table_lock
+      end
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains = Array.init n_writers (fun d -> Domain.spawn (fun () -> writer d)) in
+  Array.iter Domain.join domains;
+  let dt = Unix.gettimeofday () -. t0 in
+  let live = Memtable.size !table in
+  Printf.printf "memtable (%s): %d writers x %d writes in %.2fs (%.2f Mops/s)\n" "sl-fraser-opt"
+    n_writers per_writer dt
+    (float_of_int (Atomic.get writes) /. dt /. 1e6);
+  Printf.printf "  flushes: %d (%d entries flushed), live entries: %d\n" !flushes !flushed_entries
+    live;
+  match Memtable.validate !table with
+  | Ok () -> print_endline "  memtable validates: ok"
+  | Error e -> failwith e

@@ -1,0 +1,49 @@
+(* Quickstart: pick an algorithm from the registry, instantiate it on
+   native atomics, share it across domains.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+(* Any algorithm: functor it over the native memory. *)
+module Clht = Ascy_hashtable.Clht_lb.Make (Ascy_mem.Mem_native)
+
+let () =
+  let t = Clht.create ~hint:1024 () in
+
+  (* basic single-threaded usage *)
+  assert (Clht.insert t 42 "answer");
+  assert (not (Clht.insert t 42 "dup"));
+  assert (Clht.search t 42 = Some "answer");
+  assert (Clht.remove t 42);
+  assert (Clht.search t 42 = None);
+  print_endline "single-threaded semantics: ok";
+
+  (* shared across domains *)
+  let n_domains = 4 and per = 5_000 in
+  let domains =
+    Array.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Ascy_util.Xorshift.create (d + 1) in
+            let mine = ref 0 in
+            for _ = 1 to per do
+              let k = Ascy_util.Xorshift.below rng 4096 in
+              if Ascy_util.Xorshift.bool rng 0.5 then begin
+                if Clht.insert t k (string_of_int k) then incr mine
+              end
+              else if Clht.remove t k then decr mine
+            done;
+            !mine))
+  in
+  let net = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  Printf.printf "concurrent net insertions: %d, final size: %d\n" net (Clht.size t);
+  assert (net = Clht.size t);
+  (match Clht.validate t with
+  | Ok () -> print_endline "structure validates: ok"
+  | Error e -> failwith e);
+
+  (* the same code runs on ANY of the 33 implementations via the registry *)
+  let module E = (val (Ascylib.Registry.by_name "sl-fraser-opt").Ascylib.Registry.maker) in
+  let module Sl = E (Ascy_mem.Mem_native) in
+  let sl = Sl.create () in
+  assert (Sl.insert sl 1 "one");
+  Printf.printf "registry-driven %s: search 1 -> %s\n" Sl.name
+    (Option.value (Sl.search sl 1) ~default:"?")

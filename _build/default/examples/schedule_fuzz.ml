@@ -1,0 +1,67 @@
+(* Deterministic schedule fuzzing: the simulator as a concurrency-bug
+   hunter.
+
+   The asynchronized (sequential) list is deliberately unsafe when
+   shared — that is the paper's whole point.  We fuzz seeds until an
+   interleaving breaks set semantics (a successful insert whose key then
+   cannot be found, or conservation violations), then replay the exact
+   seed twice to show the failure reproduces bit-for-bit.  The same
+   harness run against the lazy list finds nothing.
+
+   Run with: dune exec examples/schedule_fuzz.exe *)
+
+module Sim = Ascy_mem.Sim
+module P = Ascy_platform.Platform
+
+(* Run one seeded schedule; return the number of conservation violations. *)
+let violations (module A : Ascy_core.Set_intf.MAKER) ~seed =
+  let module M = A (Sim.Mem) in
+  Sim.with_sim ~seed ~jitter:3 ~platform:P.xeon20 ~nthreads:4 (fun sim ->
+      let t = M.create ~hint:8 () in
+      let keys = 8 and ops = 60 in
+      let net = Array.make_matrix 4 keys 0 in
+      let body tid () =
+        let rng = Ascy_util.Xorshift.create (seed + (tid * 7919)) in
+        for _ = 1 to ops do
+          let k = Ascy_util.Xorshift.below rng keys in
+          if Ascy_util.Xorshift.below rng 2 = 0 then begin
+            if M.insert t k tid then net.(tid).(k) <- net.(tid).(k) + 1
+          end
+          else if M.remove t k then net.(tid).(k) <- net.(tid).(k) - 1
+        done
+      in
+      ignore (Sim.run sim (Array.init 4 body));
+      let bad = ref 0 in
+      for k = 0 to keys - 1 do
+        let total = Array.fold_left (fun acc row -> acc + row.(k)) 0 net in
+        let present = if M.search t k <> None then 1 else 0 in
+        if total <> present then incr bad
+      done;
+      !bad)
+
+let fuzz name maker =
+  let found = ref None in
+  let seed = ref 1 in
+  while !found = None && !seed <= 200 do
+    let bad = violations maker ~seed:!seed in
+    if bad > 0 then found := Some (!seed, bad);
+    incr seed
+  done;
+  match !found with
+  | Some (s, bad) ->
+      Printf.printf "%-12s seed %3d: %d conservation violations (%d schedules explored)\n" name s
+        bad (s);
+      (* determinism: the same seed reproduces the same violation count *)
+      let again = violations maker ~seed:s in
+      Printf.printf "%-12s seed %3d replayed: %d violations — %s\n" name s again
+        (if again = bad then "bit-for-bit reproducible" else "NOT reproducible (bug in the sim!)")
+  | None -> Printf.printf "%-12s no violation in 200 seeded schedules\n" name
+
+let () =
+  print_endline "Fuzzing the asynchronized list (expected: races found fast):";
+  fuzz "ll-async" (module Ascy_linkedlist.Seq_list.Make : Ascy_core.Set_intf.MAKER);
+  print_endline "\nFuzzing the lazy list (expected: no violations):";
+  fuzz "ll-lazy" (module Ascy_linkedlist.Lazy_list.Make);
+  print_endline "\nThis is how the test suite hunts interleaving bugs: every";
+  print_endline "conformance suite replays many seeds, and any failure comes";
+  print_endline "with the seed that reproduces it deterministically."

@@ -1,0 +1,34 @@
+(* Exploring portable scalability with the multicore simulator: the same
+   lazy-list workload on two very different machines (uniform Tilera vs
+   NUMA Opteron), versus the asynchronized upper bound — Figure 2's
+   methodology in twenty lines.
+
+   Run with: dune exec examples/sim_explore.exe *)
+
+module W = Ascy_harness.Workload
+module R = Ascy_harness.Sim_run
+module P = Ascy_platform.Platform
+
+let () =
+  let wl = W.make ~initial:256 ~update_pct:10 () in
+  let algos = [ "ll-async"; "ll-lazy"; "ll-coupling" ] in
+  List.iter
+    (fun platform ->
+      Printf.printf "\n%s (%d cores, %d sockets):\n" platform.P.name platform.P.cores
+        platform.P.sockets;
+      List.iter
+        (fun name ->
+          let entry = Ascylib.Registry.by_name name in
+          let tput n =
+            (R.run entry.Ascylib.Registry.maker ~platform ~nthreads:n ~workload:wl
+               ~ops_per_thread:150 ())
+              .R.throughput_mops
+          in
+          let t1 = tput 1 and t16 = tput 16 in
+          Printf.printf "  %-12s 1 thr: %6.3f Mops/s   16 thr: %6.3f Mops/s   scalability: %.1fx\n"
+            name t1 t16 (t16 /. t1))
+        algos)
+    [ P.tilera; P.opteron ];
+  print_endline "\nNote how hand-over-hand locking (coupling) not only fails to scale";
+  print_endline "but collapses, while the ASCY-compliant lazy list tracks the";
+  print_endline "asynchronized upper bound on both machines."

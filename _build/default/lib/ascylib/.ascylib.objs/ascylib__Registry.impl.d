@@ -1,0 +1,1 @@
+lib/ascylib/registry.ml: Ascy_bst Ascy_core Ascy_hashtable Ascy_linkedlist Ascy_skiplist List

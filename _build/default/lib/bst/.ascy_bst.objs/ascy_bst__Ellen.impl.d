@@ -1,0 +1,1 @@
+lib/bst/ellen.ml: Ascy_core Ascy_mem Ascy_ssmem

@@ -1,0 +1,1 @@
+lib/bst/howley.ml: Ascy_core Ascy_mem Ascy_ssmem

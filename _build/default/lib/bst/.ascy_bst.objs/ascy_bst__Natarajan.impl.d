@@ -1,0 +1,1 @@
+lib/bst/natarajan.ml: Ascy_core Ascy_mem Ascy_ssmem

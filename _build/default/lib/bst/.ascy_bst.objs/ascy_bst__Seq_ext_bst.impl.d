@@ -1,0 +1,1 @@
+lib/bst/seq_ext_bst.ml: Ascy_mem

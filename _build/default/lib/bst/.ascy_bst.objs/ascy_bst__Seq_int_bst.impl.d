@@ -1,0 +1,1 @@
+lib/bst/seq_int_bst.ml: Ascy_mem

@@ -1,0 +1,217 @@
+(** Internal lock-free BST with operation records and helping, after
+    Howley & Jones (Table 1 "howley"; SPAA 2012).
+
+    Every child-pointer mutation goes through the owning node's [op]
+    field: a thread claims the node with a CAS installing a [ChildCAS]
+    record, performs the child CAS, publishes the outcome in the record
+    and releases the node — and {e any} thread that encounters a pending
+    record helps complete it, searches included ("all three operations
+    perform helping and might need to restart", exactly the ASCY1/2
+    violations the paper quantifies on this algorithm).  Three atomic
+    operations per structural update, against natarajan's ~two.
+
+    Faithful simplification (documented in DESIGN.md): where Howley
+    relocates the successor's key into a deleted two-child node, we
+    tombstone the node in place (its [value] cell becomes [None], equal
+    keys route right) and splice tombstones with at most one child; the
+    synchronization structure — op claiming, helping, restarts — is the
+    algorithm's. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module S = Ascy_ssmem.Ssmem.Make (Mem)
+  module E = Ascy_mem.Event
+
+  type 'v node = Nil | Node of 'v info
+
+  and 'v info = {
+    key : int;
+    line : Mem.line;
+    value : 'v option Mem.r; (* None = tombstone (routing) *)
+    op : 'v op Mem.r;
+    left : 'v node Mem.r;
+    right : 'v node Mem.r;
+  }
+
+  and 'v op =
+    | Clean
+    | Dead (* frozen for splicing; terminal unless the splice aborts *)
+    | ChildCAS of 'v ccas
+
+  and 'v ccas = {
+    cell : 'v node Mem.r;
+    expected : 'v node;
+    update : 'v node;
+    outcome : int Mem.r; (* 0 pending / 1 success / 2 failure *)
+  }
+
+  type 'v t = { root : 'v info; ssmem : S.t }
+
+  let name = "bst-howley"
+
+  let mk_info key value =
+    let line = Mem.new_line () in
+    {
+      key;
+      line;
+      value = Mem.make line value;
+      op = Mem.make line Clean;
+      left = Mem.make line Nil;
+      right = Mem.make line Nil;
+    }
+
+  (* root sentinel: routes every user key to its left *)
+  let create ?hint:_ ?read_only_fail:_ () =
+    { root = mk_info max_int None; ssmem = S.create ~gc_threshold:!Ascy_core.Config.ssmem_threshold () }
+
+  (* Equal keys route right (tombstones are routers). *)
+  let child (n : 'v info) k = if k < n.key then n.left else n.right
+
+  (* Complete a claimed ChildCAS: perform the swap, publish the outcome,
+     release the owner.  Within the claim window the cell can only change
+     through this record, and [update] is a unique block, so reading the
+     cell disambiguates who won. *)
+  let perform (owner : 'v info) (u : 'v op) (c : 'v ccas) =
+    if Mem.cas c.cell c.expected c.update then ignore (Mem.cas c.outcome 0 1)
+    else if Mem.get c.cell == c.update then ignore (Mem.cas c.outcome 0 1)
+    else ignore (Mem.cas c.outcome 0 2);
+    (* release against the stored ChildCAS block [u] (physical CAS) *)
+    ignore (Mem.cas owner.op u Clean)
+
+  let help (owner : 'v info) (u : 'v op) =
+    match u with
+    | ChildCAS c ->
+        Mem.emit E.help;
+        perform owner u c
+    | Clean | Dead -> ()
+
+  (* Claim [owner] and run [c]; true iff the child CAS took effect. *)
+  let rec execute (owner : 'v info) (c : 'v ccas) =
+    match Mem.get owner.op with
+    | Clean ->
+        let u = ChildCAS c in
+        if Mem.cas owner.op Clean u then begin
+          perform owner u c;
+          Mem.get c.outcome = 1
+        end
+        else begin
+          Mem.emit E.cas_fail;
+          execute owner c
+        end
+    | ChildCAS _ as u ->
+        help owner u;
+        execute owner c
+    | Dead -> false (* owner is being spliced out *)
+
+  (* Descent that helps pending operations it encounters. *)
+  let descend t k ~helping =
+    let rec go (p : 'v info) (n : 'v info) =
+      (if helping then
+         match Mem.get n.op with
+         | ChildCAS _ as u -> help n u
+         | Clean | Dead -> ());
+      if n.key = k && Mem.get n.value <> None then `Found (p, n)
+      else
+        match Mem.get (child n k) with
+        | Nil -> `Missing (p, n)
+        | Node m ->
+            Mem.touch m.line;
+            go n m
+    in
+    go t.root t.root
+
+  let search t k =
+    match descend t k ~helping:true with
+    | `Found (_, n) -> Mem.get n.value
+    | `Missing _ -> None
+
+  (* Try to splice tombstone [n] (child of [p], <= 1 child) out. *)
+  let try_splice t (p : 'v info) (n : 'v info) =
+    if n != t.root then begin
+      (* freeze n so its children cannot change under the splice *)
+      match Mem.get n.op with
+      | Clean when Mem.cas n.op Clean Dead -> (
+          match (Mem.get n.left, Mem.get n.right) with
+          | Node _, Node _ ->
+              (* gained a second child: abort the freeze *)
+              ignore (Mem.cas n.op Dead Clean)
+          | (Nil, only | only, Nil) ->
+              if Mem.get n.value <> None then ignore (Mem.cas n.op Dead Clean)
+              else begin
+                let cell =
+                  match Mem.get p.left with Node m when m == n -> p.left | _ -> p.right
+                in
+                (* the expected value must be the stored block, not a
+                   fresh [Node n] wrapper *)
+                match Mem.get cell with
+                | Node m as stored when m == n ->
+                    let c = { cell; expected = stored; update = only; outcome = Mem.make_fresh 0 } in
+                    if execute p c then S.free t.ssmem n
+                    else ignore (Mem.cas n.op Dead Clean)
+                | _ -> ignore (Mem.cas n.op Dead Clean) (* p is stale *)
+              end)
+      | _ -> ()
+    end
+
+  let insert t k v =
+    let rec attempt () =
+      Mem.emit E.parse;
+      match descend t k ~helping:true with
+      | `Found _ -> false
+      | `Missing (_, n) ->
+          let cell = child n k in
+          let c =
+            {
+              cell;
+              expected = Nil;
+              update = Node (mk_info k (Some v));
+              outcome = Mem.make_fresh 0;
+            }
+          in
+          if execute n c then true
+          else begin
+            Mem.emit E.restart;
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let remove t k =
+    match descend t k ~helping:true with
+    | `Missing _ -> false
+    | `Found (p, n) -> (
+        match Mem.get n.value with
+        | None -> false
+        | Some _ as v ->
+            if Mem.cas n.value v None then begin
+              (* physical cleanup when it is cheap *)
+              (match (Mem.get n.left, Mem.get n.right) with
+              | Node _, Node _ -> () (* stays as a routing tombstone *)
+              | _ -> try_splice t p n);
+              true
+            end
+            else false (* another remove won *))
+
+  let size t =
+    let rec go = function
+      | Nil -> 0
+      | Node n ->
+          (if Mem.get n.value = None then 0 else 1) + go (Mem.get n.left) + go (Mem.get n.right)
+    in
+    go (Mem.get t.root.left)
+
+  let validate t =
+    (* equal keys route right: lo is inclusive for tombstone duplicates *)
+    let rec go nd lo hi =
+      match nd with
+      | Nil -> Ok ()
+      | Node n ->
+          if n.key < lo || n.key >= hi then Error "BST order violated"
+          else (
+            match go (Mem.get n.left) lo n.key with
+            | Error _ as e -> e
+            | Ok () -> go (Mem.get n.right) n.key hi)
+    in
+    go (Mem.get t.root.left) min_int max_int
+
+  let op_done t = S.quiesce t.ssmem
+end

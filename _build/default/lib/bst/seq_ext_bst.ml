@@ -1,0 +1,110 @@
+(** Sequential external BST — asynchronized baseline (Table 1
+    "async-ext").  Elements live only in leaves; internal (router) nodes
+    carry keys for routing.  Insertion replaces a leaf with a router over
+    two leaves; removal deletes the leaf and its router parent. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type 'v node =
+    | Leaf of { key : int; value : 'v option; line : Mem.line }
+    | Router of 'v router
+
+  and 'v router = {
+    key : int;
+    line : Mem.line;
+    left : 'v node Mem.r;
+    right : 'v node Mem.r;
+  }
+
+  (* Sentinel keys: all user keys are smaller (Set_intf caps user keys at
+     max_int - 2). *)
+  let inf1 = max_int - 1
+  let inf2 = max_int
+
+  type 'v t = { root : 'v router }
+
+  let name = "bst-async-ext"
+
+  let mk_leaf key value =
+    let line = Mem.new_line () in
+    Leaf { key; value; line }
+
+  let mk_router key left right =
+    let line = Mem.new_line () in
+    { key; line; left = Mem.make line left; right = Mem.make line right }
+
+  let create ?hint:_ ?read_only_fail:_ () =
+    (* natarajan-style initialization: R(inf2) -> S(inf1) + leaf(inf2);
+       S -> leaf(inf1) + leaf(inf2); user data grows under S.left *)
+    let s = mk_router inf1 (mk_leaf inf1 None) (mk_leaf inf2 None) in
+    { root = mk_router inf2 (Router s) (mk_leaf inf2 None) }
+
+  let go_left r k = k < r.key
+
+  (* (grandparent cell, parent router, leaf) for key k *)
+  let seek t k =
+    let rec go gcell (p : 'v router) =
+      let cell = if go_left p k then p.left else p.right in
+      match Mem.get cell with
+      | Leaf l as lf ->
+          Mem.touch l.line;
+          (gcell, p, cell, lf)
+      | Router r ->
+          Mem.touch r.line;
+          go cell r
+    in
+    go (if go_left t.root k then t.root.left else t.root.right) t.root
+
+  let search t k =
+    match seek t k with
+    | _, _, _, Leaf l when l.key = k -> l.value
+    | _ -> None
+
+  let insert t k v =
+    let _, _, cell, lf = seek t k in
+    match lf with
+    | Leaf l when l.key = k -> false
+    | Leaf l ->
+        let nl = mk_leaf k (Some v) in
+        let r =
+          if k < l.key then mk_router l.key nl lf else mk_router k lf nl
+        in
+        Mem.set cell (Router r);
+        true
+    | Router _ -> assert false
+
+  let remove t k =
+    let gcell, p, cell, lf = seek t k in
+    match lf with
+    | Leaf l when l.key = k ->
+        let sibling = Mem.get (if go_left p k then p.right else p.left) in
+        ignore cell;
+        Mem.set gcell sibling;
+        true
+    | _ -> false
+
+  let size t =
+    let rec go nd =
+      match nd with
+      | Leaf l -> if l.value = None then 0 else 1
+      | Router r -> go (Mem.get r.left) + go (Mem.get r.right)
+    in
+    go (Router t.root)
+
+  let validate t =
+    let rec go nd lo hi =
+      match nd with
+      | Leaf l ->
+          if l.value <> None && not (l.key >= lo && l.key < hi) then
+            Error "leaf key outside router bounds"
+          else Ok ()
+      | Router r ->
+          if not (r.key > lo && r.key <= hi) then Error "router key outside bounds"
+          else
+            (match go (Mem.get r.left) lo r.key with
+            | Error _ as e -> e
+            | Ok () -> go (Mem.get r.right) r.key hi)
+    in
+    go (Router t.root) min_int max_int
+
+  let op_done _ = ()
+end

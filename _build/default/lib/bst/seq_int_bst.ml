@@ -1,0 +1,104 @@
+(** Sequential internal BST — asynchronized baseline (Table 1
+    "async-int").  Elements live in every node; deleting a node with two
+    children replaces its key/value with its in-order successor's. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type 'v node = Nil | Node of 'v info
+
+  and 'v info = {
+    line : Mem.line;
+    key : int Mem.r;
+    value : 'v Mem.r;
+    left : 'v node Mem.r;
+    right : 'v node Mem.r;
+  }
+
+  type 'v t = { root : 'v node Mem.r }
+
+  let name = "bst-async-int"
+
+  let create ?hint:_ ?read_only_fail:_ () = { root = Mem.make_fresh Nil }
+
+  let mk_node k v =
+    let line = Mem.new_line () in
+    Node
+      {
+        line;
+        key = Mem.make line k;
+        value = Mem.make line v;
+        left = Mem.make line Nil;
+        right = Mem.make line Nil;
+      }
+
+  (* cell holding the node with key k (or the Nil where it would go) *)
+  let locate t k =
+    let rec go cell =
+      match Mem.get cell with
+      | Nil -> cell
+      | Node n ->
+          Mem.touch n.line;
+          let nk = Mem.get n.key in
+          if k = nk then cell else go (if k < nk then n.left else n.right)
+    in
+    go t.root
+
+  let search t k =
+    match Mem.get (locate t k) with Node n -> Some (Mem.get n.value) | Nil -> None
+
+  let insert t k v =
+    let cell = locate t k in
+    match Mem.get cell with
+    | Node _ -> false
+    | Nil ->
+        Mem.set cell (mk_node k v);
+        true
+
+  let remove t k =
+    let cell = locate t k in
+    match Mem.get cell with
+    | Nil -> false
+    | Node n -> (
+        match (Mem.get n.left, Mem.get n.right) with
+        | Nil, other | other, Nil ->
+            Mem.set cell other;
+            true
+        | Node _, Node r ->
+            (* two children: pull up the in-order successor *)
+            let rec min_cell cell =
+              match Mem.get cell with
+              | Node m -> ( match Mem.get m.left with Nil -> cell | Node _ -> min_cell m.left)
+              | Nil -> assert false
+            in
+            let scell = min_cell n.right in
+            (match Mem.get scell with
+            | Node s ->
+                Mem.set n.key (Mem.get s.key);
+                Mem.set n.value (Mem.get s.value);
+                Mem.set scell (Mem.get s.right)
+            | Nil -> assert false);
+            ignore r;
+            true)
+
+  let size t =
+    let rec go = function
+      | Nil -> 0
+      | Node n -> 1 + go (Mem.get n.left) + go (Mem.get n.right)
+    in
+    go (Mem.get t.root)
+
+  let validate t =
+    let rec go nd lo hi =
+      match nd with
+      | Nil -> Ok ()
+      | Node n ->
+          let k = Mem.get n.key in
+          if k <= lo || k >= hi then Error "BST order violated"
+          else
+            (match go (Mem.get n.left) lo k with
+            | Error _ as e -> e
+            | Ok () -> go (Mem.get n.right) k hi)
+    in
+    go (Mem.get t.root) min_int max_int
+
+  let op_done _ = ()
+end

@@ -1,0 +1,1 @@
+lib/core/ascy.ml: Printf

@@ -1,0 +1,1 @@
+lib/core/set_intf.ml: Ascy_mem

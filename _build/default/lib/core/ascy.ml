@@ -1,0 +1,45 @@
+(** The four ASCY patterns (paper §5) as first-class metadata.
+
+    Used by the registry, the Table-1 report and the documentation to
+    state which patterns each implementation follows. *)
+
+type pattern = ASCY1 | ASCY2 | ASCY3 | ASCY4
+
+let describe = function
+  | ASCY1 -> "the search operation does not involve any waiting, retries, or stores"
+  | ASCY2 ->
+      "the parse phase of an update performs no stores other than clean-up and never waits or \
+       restarts"
+  | ASCY3 -> "an update whose parse is unsuccessful performs no stores besides parse clean-up"
+  | ASCY4 ->
+      "the number and region of stores in a successful update are close to a sequential \
+       implementation"
+
+(** Compliance vector: [a1..a4] tell whether the algorithm follows each
+    pattern (for sequential algorithms all four hold trivially). *)
+type compliance = { a1 : bool; a2 : bool; a3 : bool; a4 : bool }
+
+let full = { a1 = true; a2 = true; a3 = true; a4 = true }
+let none = { a1 = false; a2 = false; a3 = false; a4 = false }
+
+let to_string c =
+  let f b s = if b then s else "-" in
+  Printf.sprintf "%s%s%s%s" (f c.a1 "1") (f c.a2 "2") (f c.a3 "3") (f c.a4 "4")
+
+(** Synchronization class of an algorithm (Table 1's "type" column). *)
+type sync = Sequential | Fully_lock_based | Lock_based | Lock_free
+
+let sync_to_string = function
+  | Sequential -> "seq"
+  | Fully_lock_based -> "flb"
+  | Lock_based -> "lb"
+  | Lock_free -> "lf"
+
+(** Data-structure families studied by the paper. *)
+type family = Linked_list | Hash_table | Skip_list | Bst
+
+let family_to_string = function
+  | Linked_list -> "linked list"
+  | Hash_table -> "hash table"
+  | Skip_list -> "skip list"
+  | Bst -> "bst"

@@ -1,0 +1,18 @@
+(** Global tuning knobs read by implementations at [create] time.
+
+    The paper tunes SSMEM's garbage threshold per platform (512 on most
+    machines, 128 on the Tilera whose TLB is tiny); benches set these
+    before creating structures. *)
+
+let ssmem_threshold = ref 512
+
+(** Default bucket count for hash tables when [?hint] is omitted. *)
+let default_buckets = ref 1024
+
+(** Maximum levels for skip lists. *)
+let skiplist_levels = ref 20
+
+(** Use HTM-style lock elision in CLHT-LB updates (read at [create]
+    time; only effective where the memory layer provides transactions,
+    i.e. the simulator). *)
+let clht_htm = ref false

@@ -1,0 +1,49 @@
+(** The concurrent-search-data-structure interface (paper §2).
+
+    Every implementation in ASCYLIB-OCaml — linked lists, hash tables,
+    skip lists, BSTs; sequential, lock-based and lock-free — provides
+    {!SET}, as a functor over the shared-memory abstraction
+    ({!Ascy_mem.Memory.S}), so the same algorithm runs natively on OCaml
+    domains or inside the multicore simulator.
+
+    Semantics (linearizable, except the [seq]/asynchronized variants which
+    are deliberately unsynchronized upper bounds):
+    - [search t k] returns the value bound to [k], if any;
+    - [insert t k v] adds the binding iff [k] is absent; returns success;
+    - [remove t k] deletes the binding iff [k] is present; returns success.
+
+    Keys are [int]s in [[min_key, max_key]]; the extremes are reserved for
+    internal sentinels.  Values are arbitrary (['v]). *)
+
+let min_key = min_int + 2
+let max_key = max_int - 2
+
+module type SET = sig
+  type 'v t
+
+  val name : string
+
+  val create : ?hint:int -> ?read_only_fail:bool -> unit -> 'v t
+  (** [hint] sizes table-like structures (bucket count).
+      [read_only_fail] toggles ASCY3 ("an update whose parse fails performs
+      no stores") on the algorithms the paper applies it to; [true] by
+      default.  Ignored by algorithms where it does not apply. *)
+
+  val search : 'v t -> int -> 'v option
+  val insert : 'v t -> int -> 'v -> bool
+  val remove : 'v t -> int -> bool
+
+  val size : 'v t -> int
+  (** Number of elements; O(n) traversal, not linearizable. *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Check structural invariants (ordering, reachability, no duplicates).
+      Intended for quiescent moments in tests. *)
+
+  val op_done : 'v t -> unit
+  (** Announce a quiescent point for memory reclamation (SSMEM/RCU).
+      Harnesses call it after each complete operation; a no-op for
+      structures without deferred reclamation. *)
+end
+
+module type MAKER = functor (Mem : Ascy_mem.Memory.S) -> SET

@@ -1,0 +1,1 @@
+lib/harness/native_run.ml: Array Ascy_core Ascy_mem Ascy_util Atomic Domain Unix Workload

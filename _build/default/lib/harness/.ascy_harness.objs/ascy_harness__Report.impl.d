@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Ascy_util List Printf String

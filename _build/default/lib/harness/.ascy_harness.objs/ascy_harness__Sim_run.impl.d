@@ -1,0 +1,1 @@
+lib/harness/sim_run.ml: Array Ascy_core Ascy_mem Ascy_platform Ascy_util Workload

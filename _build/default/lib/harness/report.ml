@@ -1,0 +1,34 @@
+(** Plain-text tables and latency-distribution rows for the bench
+    output, echoing the layout of the paper's figures. *)
+
+let hr width = String.make width '-'
+
+(** Print a table: header row + rows of string cells. *)
+let table ~title headers rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) headers;
+  List.iter
+    (fun row -> List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) row)
+    rows;
+  let pad i s = Printf.sprintf "%-*s" widths.(i) s in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let total = Array.fold_left ( + ) 0 widths + (3 * ncols) + 1 in
+  Printf.printf "\n%s\n%s\n" title (hr total);
+  print_endline (line headers);
+  print_endline (hr total);
+  List.iter (fun r -> print_endline (line r)) rows;
+  print_endline (hr total)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+(** "p1/p25/p50/p75/p99" latency summary in the figures' style. *)
+let percentiles h =
+  let p = Ascy_util.Histogram.summary h in
+  if Ascy_util.Histogram.count h = 0 then "-"
+  else Printf.sprintf "%.0f/%.0f/%.0f/%.0f/%.0f" p.(0) p.(1) p.(2) p.(3) p.(4)
+
+(** Ratio-to-baseline formatted as the paper's relative-power plots. *)
+let ratio x base = if base = 0.0 then "-" else f3 (x /. base)

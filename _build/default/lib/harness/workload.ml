@@ -1,0 +1,41 @@
+(** Workload definitions matching the paper's experimental settings (§4):
+    the structure is initialized with [initial] elements; operations pick
+    keys uniformly in [1 .. 2*initial] so on average half the operations
+    are successful and the size stays near [initial]; the update
+    percentage is split between insertions and removals. *)
+
+type t = {
+  initial : int;
+  key_range : int;
+  update_pct : int; (* 0..100; half inserts, half removes *)
+}
+
+let make ?key_range ~initial ~update_pct () =
+  {
+    initial;
+    key_range = (match key_range with Some r -> r | None -> 2 * initial);
+    update_pct;
+  }
+
+(* The three contention levels of Figure 2. *)
+let average = make ~initial:4096 ~update_pct:10 ()
+let high = make ~initial:512 ~update_pct:25 ()
+let low = make ~initial:16384 ~update_pct:10 ()
+
+type op = Search | Insert | Remove
+
+(** Zipf-like skewed key popularity (for the paper's brief "non-uniform
+    workloads" experiments): a fraction [hot_pct] of accesses hit a
+    [hot_keys]-sized prefix of the key range. *)
+type skew = { hot_keys : int; hot_pct : int }
+
+let pick_key_skewed w skew rng =
+  if Ascy_util.Xorshift.below rng 100 < skew.hot_pct then
+    1 + Ascy_util.Xorshift.below rng (min skew.hot_keys w.key_range)
+  else 1 + Ascy_util.Xorshift.below rng w.key_range
+
+let pick_op w rng =
+  let r = Ascy_util.Xorshift.below rng 100 in
+  if r >= w.update_pct then Search else if r land 1 = 0 then Insert else Remove
+
+let pick_key w rng = 1 + Ascy_util.Xorshift.below rng w.key_range

@@ -1,0 +1,1 @@
+lib/hashtable/bucket_table.ml: Array Ascy_core Ascy_mem Hash String

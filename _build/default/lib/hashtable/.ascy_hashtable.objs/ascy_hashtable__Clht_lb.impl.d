@@ -1,0 +1,1 @@
+lib/hashtable/clht_lb.ml: Array Ascy_core Ascy_locks Ascy_mem Hash Hashtbl

@@ -1,0 +1,1 @@
+lib/hashtable/hash.ml:

@@ -1,0 +1,1 @@
+lib/hashtable/java_ht.ml: Array Ascy_core Ascy_locks Ascy_mem Hash Hashtbl

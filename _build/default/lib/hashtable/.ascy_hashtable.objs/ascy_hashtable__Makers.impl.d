@@ -1,0 +1,1 @@
+lib/hashtable/makers.ml: Ascy_linkedlist Ascy_mem Bucket_table

@@ -1,0 +1,1 @@
+lib/hashtable/urcu_ht.ml: Array Ascy_core Ascy_locks Ascy_mem Ascy_rcu Ascy_ssmem Hash Hashtbl

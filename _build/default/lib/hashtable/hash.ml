@@ -1,0 +1,14 @@
+(** Key-to-bucket hashing shared by all hash tables.
+
+    Fibonacci (multiplicative) hashing: cheap, and spreads the uniform or
+    clustered integer keys the workloads generate.  Bucket counts are
+    always powers of two. *)
+
+let phi = 0x1E3779B97F4A7C15 (* golden-ratio constant, truncated to 61 bits *)
+
+(* Keep the result non-negative on 63-bit ints. *)
+let mix k = (k * phi) lxor ((k * phi) asr 29) land max_int
+
+let bucket k mask = mix k land mask
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)

@@ -1,0 +1,23 @@
+(** The hash-table catalogue (Table 1): chained tables built from the
+    list algorithms, the three library-style designs, and CLHT. *)
+
+module Ll = Ascy_linkedlist
+
+(** Asynchronized (sequential lists in each bucket): the upper bound. *)
+module Seq (Mem : Ascy_mem.Memory.S) = Bucket_table.Make (Mem) (Ll.Seq_list.Make (Mem))
+
+(** One lock-coupling list per bucket (fully lock-based). *)
+module Coupling (Mem : Ascy_mem.Memory.S) = Bucket_table.Make (Mem) (Ll.Coupling.Make (Mem))
+
+(** One Pugh list per bucket. *)
+module Pugh (Mem : Ascy_mem.Memory.S) = Bucket_table.Make (Mem) (Ll.Pugh.Make (Mem))
+
+(** One lazy list per bucket. *)
+module Lazy (Mem : Ascy_mem.Memory.S) = Bucket_table.Make (Mem) (Ll.Lazy_list.Make (Mem))
+
+(** One copy-on-write list per bucket. *)
+module Copy (Mem : Ascy_mem.Memory.S) = Bucket_table.Make (Mem) (Ll.Copy_list.Make (Mem))
+
+(** One Harris (ASCY-optimised) lock-free list per bucket; the paper's
+    "harris" hash table uses the harris-opt list. *)
+module Harris (Mem : Ascy_mem.Memory.S) = Bucket_table.Make (Mem) (Ll.Harris_opt.Make (Mem))

@@ -1,0 +1,1 @@
+lib/linkedlist/copy_list.ml: Array Ascy_locks Ascy_mem

@@ -1,0 +1,1 @@
+lib/linkedlist/harris_opt.ml: Ascy_core Ascy_mem Ascy_ssmem

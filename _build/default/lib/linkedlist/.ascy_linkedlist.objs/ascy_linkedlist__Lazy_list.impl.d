@@ -1,0 +1,1 @@
+lib/linkedlist/lazy_list.ml: Ascy_core Ascy_locks Ascy_mem Ascy_ssmem

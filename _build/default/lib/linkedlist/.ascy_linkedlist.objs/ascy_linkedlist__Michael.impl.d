@@ -1,0 +1,1 @@
+lib/linkedlist/michael.ml: Ascy_core Ascy_mem Ascy_ssmem

@@ -1,0 +1,1 @@
+lib/linkedlist/seq_list.ml: Ascy_mem

@@ -1,0 +1,124 @@
+(** Copy-on-write list (Table 1 "copy"; java.util.concurrent's
+    CopyOnWriteArrayList).
+
+    The element set lives in an immutable sorted array published through a
+    single shared pointer.  Searches read the pointer and binary-search
+    the array — extremely cheap, serial accesses (the behaviour §5/ASCY1
+    highlights).  Updates take a global lock and copy the whole array, so
+    they do O(n) stores and serialize — the two limitations the paper
+    calls out.  [read_only_fail] makes failing updates return after a
+    lock-free binary search (ASCY3); "copy-no" locks first. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module L = Ascy_locks.Ttas.Make (Mem)
+
+  (* Keys/values in plain immutable arrays; [lines] models their cache
+     footprint (8 words per line) for the simulator. *)
+  type 'v snap = { keys : int array; vals : 'v array; lines : Mem.line array }
+
+  type 'v t = { root : 'v snap Mem.r; lock : L.t; rof : bool }
+
+  let name = "ll-copy"
+
+  let mk_snap keys vals =
+    let nlines = max 1 ((Array.length keys + 7) / 8) in
+    let lines = Array.init nlines (fun _ -> Mem.new_line ()) in
+    (* copying into a fresh array = one store per line *)
+    Array.iter (fun l -> ignore (Mem.make l 0)) lines;
+    { keys; vals; lines }
+
+  let create ?hint:_ ?(read_only_fail = true) () =
+    let line = Mem.new_line () in
+    { root = Mem.make line (mk_snap [||] [||]); lock = L.create line; rof = read_only_fail }
+
+  let touch_slot s i = if Array.length s.lines > 0 then Mem.touch s.lines.(i lsr 3)
+
+  (* Binary search for k; Some index if found, else None (insertion point
+     via [lower_bound]). *)
+  let lower_bound s k =
+    let lo = ref 0 and hi = ref (Array.length s.keys) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      touch_slot s mid;
+      if s.keys.(mid) < k then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let found s i k = i < Array.length s.keys && s.keys.(i) = k
+
+  let search t k =
+    let s = Mem.get t.root in
+    let i = lower_bound s k in
+    if found s i k then Some s.vals.(i) else None
+
+  let insert t k v =
+    let quick_fail =
+      t.rof
+      &&
+      let s = Mem.get t.root in
+      found s (lower_bound s k) k
+    in
+    if quick_fail then false
+    else begin
+      L.acquire t.lock;
+      let s = Mem.get t.root in
+      let i = lower_bound s k in
+      if found s i k then begin
+        L.release t.lock;
+        false
+      end
+      else begin
+        let n = Array.length s.keys in
+        let keys = Array.make (n + 1) k and vals = Array.make (n + 1) v in
+        Array.blit s.keys 0 keys 0 i;
+        Array.blit s.vals 0 vals 0 i;
+        Array.blit s.keys i keys (i + 1) (n - i);
+        Array.blit s.vals i vals (i + 1) (n - i);
+        Mem.set t.root (mk_snap keys vals);
+        L.release t.lock;
+        true
+      end
+    end
+
+  let remove t k =
+    let quick_fail =
+      t.rof
+      &&
+      let s = Mem.get t.root in
+      not (found s (lower_bound s k) k)
+    in
+    if quick_fail then false
+    else begin
+      L.acquire t.lock;
+      let s = Mem.get t.root in
+      let i = lower_bound s k in
+      if not (found s i k) then begin
+        L.release t.lock;
+        false
+      end
+      else begin
+        let n = Array.length s.keys in
+        let keys = Array.make (max (n - 1) 0) 0 in
+        let vals = Array.make (max (n - 1) 0) s.vals.(0) in
+        Array.blit s.keys 0 keys 0 i;
+        Array.blit s.vals 0 vals 0 i;
+        Array.blit s.keys (i + 1) keys i (n - 1 - i);
+        Array.blit s.vals (i + 1) vals i (n - 1 - i);
+        Mem.set t.root (mk_snap keys vals);
+        L.release t.lock;
+        true
+      end
+    end
+
+  let size t = Array.length (Mem.get t.root).keys
+
+  let validate t =
+    let s = Mem.get t.root in
+    let ok = ref (Ok ()) in
+    for i = 1 to Array.length s.keys - 1 do
+      if s.keys.(i - 1) >= s.keys.(i) then ok := Error "keys not strictly increasing"
+    done;
+    !ok
+
+  let op_done _ = ()
+end

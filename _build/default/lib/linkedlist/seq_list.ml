@@ -1,0 +1,73 @@
+(** Sequential sorted linked list — the {e asynchronized} baseline
+    (Table 1, "async").
+
+    No synchronization whatsoever: deployed shared it is incorrect, but its
+    performance is the paper's practical upper bound for what any correct
+    concurrent list can hope to achieve.  All memory accesses still go
+    through {!Ascy_mem.Memory.S} so the simulator charges it the same
+    coherence costs as the concurrent algorithms. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type 'v node = Nil | Node of { key : int; value : 'v; line : Mem.line; next : 'v node Mem.r }
+
+  type 'v t = { head : 'v node Mem.r; head_line : Mem.line }
+
+  let name = "ll-async"
+
+  let create ?hint:_ ?read_only_fail:_ () =
+    let head_line = Mem.new_line () in
+    { head = Mem.make head_line Nil; head_line }
+
+  let node key value next_node =
+    let line = Mem.new_line () in
+    Node { key; value; line; next = Mem.make line next_node }
+
+  (* Returns the cell whose content is the first node with key >= k, plus
+     that node (possibly Nil). *)
+  let locate t k =
+    let rec go cell =
+      match Mem.get cell with
+      | Nil -> (cell, Nil)
+      | Node n as nd ->
+          Mem.touch n.line;
+          if n.key < k then go n.next else (cell, nd)
+    in
+    Mem.touch t.head_line;
+    go t.head
+
+  let search t k =
+    match locate t k with
+    | _, Node n when n.key = k -> Some n.value
+    | _ -> None
+
+  let insert t k v =
+    let cell, succ = locate t k in
+    match succ with
+    | Node n when n.key = k -> false
+    | _ ->
+        Mem.set cell (node k v succ);
+        true
+
+  let remove t k =
+    match locate t k with
+    | cell, Node n when n.key = k ->
+        Mem.set cell (Mem.get n.next);
+        true
+    | _ -> false
+
+  let size t =
+    let rec go cell acc =
+      match Mem.get cell with Nil -> acc | Node n -> go n.next (acc + 1)
+    in
+    go t.head 0
+
+  let validate t =
+    let rec go cell last =
+      match Mem.get cell with
+      | Nil -> Ok ()
+      | Node n -> if n.key <= last then Error "keys not strictly increasing" else go n.next n.key
+    in
+    go t.head min_int
+
+  let op_done _ = ()
+end

@@ -1,0 +1,1 @@
+lib/locks/backoff.ml: Ascy_mem

@@ -1,0 +1,1 @@
+lib/locks/mcs.ml: Ascy_mem

@@ -1,0 +1,1 @@
+lib/locks/rw_lock.ml: Ascy_mem Backoff

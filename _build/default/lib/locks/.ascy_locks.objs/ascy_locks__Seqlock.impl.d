@@ -1,0 +1,1 @@
+lib/locks/seqlock.ml: Ascy_mem Backoff

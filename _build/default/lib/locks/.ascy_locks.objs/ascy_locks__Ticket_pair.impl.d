@@ -1,0 +1,1 @@
+lib/locks/ticket_pair.ml: Ascy_mem

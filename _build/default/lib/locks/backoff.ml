@@ -1,0 +1,19 @@
+(** Bounded exponential backoff for spin loops.
+
+    Keeps contended spinning from melting the simulated (or real)
+    interconnect; every CSDS lock in ASCYLIB-OCaml spins through this. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type t = { mutable cur : int; max : int }
+
+  let create ?(init = 2) ?(max = 512) () = { cur = init; max }
+
+  (** Spin for the current delay and double it (up to the bound). *)
+  let once t =
+    for _ = 1 to t.cur do
+      Mem.cpu_relax ()
+    done;
+    if t.cur < t.max then t.cur <- t.cur * 2
+
+  let reset ?(init = 2) t = t.cur <- init
+end

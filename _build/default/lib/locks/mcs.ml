@@ -1,0 +1,62 @@
+(** MCS queue lock (Mellor-Crummey & Scott).
+
+    Each waiter spins on its {e own} qnode — one line per waiter — so a
+    release invalidates exactly one remote cache line instead of waking
+    every spinner, the property that made queue locks the scalable
+    alternative the paper's SOSP'13 companion study benchmarks.  Provided
+    for completeness and for the lock micro-comparisons; the CSDSs
+    themselves follow the paper in using TTAS/ticket locks. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type qnode = { locked : bool Mem.r; next : qnode option Mem.r }
+
+  type t = { tail : qnode option Mem.r }
+
+  let create line = { tail = Mem.make line None }
+  let create_fresh () = create (Mem.new_line ())
+
+  let mk_qnode () =
+    let line = Mem.new_line () in
+    { locked = Mem.make line false; next = Mem.make line None }
+
+  (* the handle keeps the exact [Some] block stored in the tail, so the
+     release CAS (physical equality) can match it *)
+  type handle = { me : qnode; opt : qnode option }
+
+  (** Acquire with a fresh qnode; returns the handle for {!release}. *)
+  let acquire t =
+    let me = mk_qnode () in
+    let opt = Some me in
+    let rec swap_tail () =
+      let prev = Mem.get t.tail in
+      if Mem.cas t.tail prev opt then prev else swap_tail ()
+    in
+    (match swap_tail () with
+    | None -> () (* lock was free *)
+    | Some pred ->
+        Mem.set me.locked true;
+        Mem.set pred.next opt;
+        while Mem.get me.locked do
+          Mem.cpu_relax ()
+        done);
+    Mem.emit Ascy_mem.Event.lock;
+    { me; opt }
+
+  let release t h =
+    match Mem.get h.me.next with
+    | Some succ -> Mem.set succ.locked false
+    | None ->
+        (* no known successor: try to swing the tail back to empty *)
+        if Mem.cas t.tail h.opt None then ()
+        else begin
+          (* a successor is linking itself in; wait for it *)
+          let rec wait () =
+            match Mem.get h.me.next with
+            | Some succ -> Mem.set succ.locked false
+            | None ->
+                Mem.cpu_relax ();
+                wait ()
+          in
+          wait ()
+        end
+end

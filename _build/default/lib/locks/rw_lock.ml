@@ -1,0 +1,49 @@
+(** Reader-writer spinlock (one word).
+
+    State encoding: [0] free, [n > 0] that many readers, [-1] one writer.
+    Used by the TBB-style hash table, whose buckets are protected by
+    reader-writer locks (so even searches synchronize — deliberately
+    violating ASCY1, which is the point of that baseline). *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module B = Backoff.Make (Mem)
+
+  type t = int Mem.r
+
+  let create line : t = Mem.make line 0
+  let create_fresh () : t = Mem.make_fresh 0
+
+  let read_acquire (t : t) =
+    let b = B.create () in
+    let rec loop () =
+      let v = Mem.get t in
+      if v >= 0 && Mem.cas t v (v + 1) then ()
+      else begin
+        B.once b;
+        loop ()
+      end
+    in
+    loop ();
+    Mem.emit Ascy_mem.Event.lock
+
+  let read_release (t : t) =
+    let rec loop () =
+      let v = Mem.get t in
+      if not (Mem.cas t v (v - 1)) then loop ()
+    in
+    loop ()
+
+  let write_acquire (t : t) =
+    let b = B.create () in
+    let rec loop () =
+      if Mem.get t = 0 && Mem.cas t 0 (-1) then ()
+      else begin
+        B.once b;
+        loop ()
+      end
+    in
+    loop ();
+    Mem.emit Ascy_mem.Event.lock
+
+  let write_release (t : t) = Mem.set t 0
+end

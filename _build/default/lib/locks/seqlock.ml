@@ -1,0 +1,55 @@
+(** Sequence lock: optimistic readers, single versioned writer.
+
+    Writers make the version odd while writing; readers retry if they saw
+    an odd version or the version changed across their read.  Used by the
+    emulated-HTM fallback path. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module B = Backoff.Make (Mem)
+
+  type t = int Mem.r
+
+  let create line : t = Mem.make line 0
+  let create_fresh () : t = Mem.make_fresh 0
+
+  (** Begin a write section; returns the (odd) version. *)
+  let write_acquire (t : t) =
+    let b = B.create () in
+    let rec loop () =
+      let v = Mem.get t in
+      if v land 1 = 0 && Mem.cas t v (v + 1) then v + 1
+      else begin
+        B.once b;
+        loop ()
+      end
+    in
+    let v = loop () in
+    Mem.emit Ascy_mem.Event.lock;
+    v
+
+  let write_release (t : t) = Mem.set t (Mem.get t + 1)
+
+  (** [read t f] runs [f ()] until it executes entirely within one version
+      (no concurrent writer). *)
+  let read (t : t) f =
+    let b = B.create () in
+    let rec loop () =
+      let v0 = Mem.get t in
+      if v0 land 1 = 1 then begin
+        B.once b;
+        loop ()
+      end
+      else begin
+        let x = f () in
+        if Mem.get t = v0 then x
+        else begin
+          Mem.emit Ascy_mem.Event.restart;
+          B.once b;
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+  let version (t : t) = Mem.get t
+end

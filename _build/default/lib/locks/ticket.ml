@@ -1,0 +1,45 @@
+(** Ticket lock with a versioned try-acquire interface.
+
+    A ticket lock already embeds a version number (the now-serving
+    counter); BST-TK (paper §6.2) exploits this to merge optimistic
+    validation with lock acquisition: the parse phase records the version
+    it observed, and [try_acquire_version] succeeds only if no update has
+    slipped in since.  [release] increments the version, publishing the
+    update. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module B = Backoff.Make (Mem)
+
+  type t = { next : int Mem.r; now : int Mem.r }
+
+  let create line = { next = Mem.make line 0; now = Mem.make line 0 }
+  let create_fresh () = create (Mem.new_line ())
+
+  (** Blocking FIFO acquire. *)
+  let acquire t =
+    let my = Mem.fetch_and_add t.next 1 in
+    let b = B.create () in
+    while Mem.get t.now <> my do
+      B.once b
+    done;
+    Mem.emit Ascy_mem.Event.lock
+
+  let release t = Mem.set t.now (Mem.get t.now + 1)
+
+  (** The version observed by an optimistic parse. *)
+  let version t = Mem.get t.now
+
+  (** [try_acquire_version t v] atomically acquires the lock iff it is free
+      and its version is still [v] (i.e. no one updated the protected data
+      since the caller read [v]).  On success the caller must [release],
+      which bumps the version to [v + 1]. *)
+  let try_acquire_version t v =
+    if Mem.get t.now <> v then false
+    else if Mem.cas t.next v (v + 1) then begin
+      Mem.emit Ascy_mem.Event.lock;
+      true
+    end
+    else false
+
+  let is_locked t = Mem.get t.next <> Mem.get t.now
+end

@@ -1,0 +1,93 @@
+(** A pair of small ticket locks packed into one word — the BST-TK node
+    lock (paper §6.2: "two smaller ticket locks to each node, so that the
+    left and the right pointers can be locked separately").
+
+    Packing both (ticket, now-serving) pairs into a single word lets a
+    removal acquire {e both} edges of a node with one CAS, and lets
+    [try_acquire_version] merge optimistic validation with acquisition:
+    it succeeds only if the edge is free {e and} its version still equals
+    what the parse observed.
+
+    Layout (15 bits each, wrap-around like the 16-bit C fields):
+    [l_next | l_now | r_next | r_now]. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type t = int Mem.r
+
+  type side = L | R
+
+  let bits = 15
+  let mask = (1 lsl bits) - 1
+
+  let l_next w = (w lsr (3 * bits)) land mask
+  let l_now w = (w lsr (2 * bits)) land mask
+  let r_next w = (w lsr bits) land mask
+  let r_now w = w land mask
+
+  let pack ln lo rn ro = (ln lsl (3 * bits)) lor (lo lsl (2 * bits)) lor (rn lsl bits) lor ro
+
+  let create line : t = Mem.make line 0
+  let create_fresh () : t = Mem.make_fresh 0
+
+  (** Current version (now-serving counter) of one edge. *)
+  let version (t : t) side =
+    let w = Mem.get t in
+    match side with L -> l_now w | R -> r_now w
+
+  (** Both versions from a single read: (left, right). *)
+  let versions (t : t) =
+    let w = Mem.get t in
+    (l_now w, r_now w)
+
+  let bump v = (v + 1) land mask
+
+  (** Acquire one edge iff it is free and its version is still [v]. *)
+  let try_acquire_version (t : t) side v =
+    let w = Mem.get t in
+    let ok =
+      match side with
+      | L -> l_now w = v && l_next w = v
+      | R -> r_now w = v && r_next w = v
+    in
+    ok
+    &&
+    let w' =
+      match side with
+      | L -> pack (bump v) (l_now w) (r_next w) (r_now w)
+      | R -> pack (l_next w) (l_now w) (bump v) (r_now w)
+    in
+    if Mem.cas t w w' then begin
+      Mem.emit Ascy_mem.Event.lock;
+      true
+    end
+    else false
+
+  (** Acquire both edges with a single CAS iff both are free at the
+      observed versions. *)
+  let try_acquire_both (t : t) vl vr =
+    let w = Mem.get t in
+    l_now w = vl && l_next w = vl && r_now w = vr && r_next w = vr
+    &&
+    if Mem.cas t w (pack (bump vl) vl (bump vr) vr) then begin
+      Mem.emit Ascy_mem.Event.lock;
+      true
+    end
+    else false
+
+  (** Release one edge, bumping its version (publishes the update). *)
+  let release (t : t) side =
+    let rec loop () =
+      let w = Mem.get t in
+      let w' =
+        match side with
+        | L -> pack (l_next w) (bump (l_now w)) (r_next w) (r_now w)
+        | R -> pack (l_next w) (l_now w) (r_next w) (bump (r_now w))
+      in
+      if not (Mem.cas t w w') then loop ()
+    in
+    loop ()
+
+  let is_locked (t : t) side =
+    let w = Mem.get t in
+    match side with L -> l_next w <> l_now w | R -> r_next w <> r_now w
+end

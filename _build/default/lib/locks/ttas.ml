@@ -1,0 +1,39 @@
+(** Test-and-test-and-set spinlock.
+
+    The default per-node lock of the lock-based CSDSs.  Spins reading
+    (cheap: the line stays shared) and only attempts the atomic when the
+    lock looks free, with exponential backoff on failure. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module B = Backoff.Make (Mem)
+
+  type t = int Mem.r
+
+  (** [create line] allocates the lock on [line] so that it shares a cache
+      line with the node it protects (as the C implementations do). *)
+  let create line : t = Mem.make line 0
+
+  let create_fresh () : t = Mem.make_fresh 0
+
+  let try_acquire (t : t) = Mem.get t = 0 && Mem.cas t 0 1
+
+  let acquire (t : t) =
+    if not (try_acquire t) then begin
+      let b = B.create () in
+      let rec loop () =
+        if Mem.get t <> 0 then begin
+          B.once b;
+          loop ()
+        end
+        else if not (Mem.cas t 0 1) then begin
+          B.once b;
+          loop ()
+        end
+      in
+      loop ()
+    end;
+    Mem.emit Ascy_mem.Event.lock
+
+  let release (t : t) = Mem.set t 0
+  let is_locked (t : t) = Mem.get t <> 0
+end

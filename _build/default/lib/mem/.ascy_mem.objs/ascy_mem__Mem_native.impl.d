@@ -1,0 +1,1 @@
+lib/mem/mem_native.ml: Array Atomic Domain Event

@@ -1,0 +1,1 @@
+lib/mem/sim.ml: Array Ascy_platform Ascy_util Effect Event Fun List Memory Printexc Printf

@@ -1,0 +1,29 @@
+(** Algorithm-level event codes.
+
+    CSDS implementations report *semantic* events (restarts, clean-ups,
+    helping, lock acquisitions...) through {!Memory.S.emit}; the harness
+    aggregates them per run.  Memory-level events (cache hits, misses,
+    line transfers, atomic operations) are counted by the simulator itself
+    and need no emission. *)
+
+let restart = 0 (* an operation or parse had to restart from scratch *)
+let cleanup = 1 (* physically unlinked a logically deleted node *)
+let help = 2 (* helped complete another thread's operation *)
+let cas_fail = 3 (* a CAS used by the algorithm failed *)
+let lock = 4 (* acquired a lock *)
+let parse = 5 (* started a parse phase (extra parses = parse - updates) *)
+let wait = 6 (* blocked/waited for a concurrent operation *)
+let gc_pass = 7 (* SSMEM garbage-collection pass *)
+
+let count = 8
+
+let name = function
+  | 0 -> "restart"
+  | 1 -> "cleanup"
+  | 2 -> "help"
+  | 3 -> "cas_fail"
+  | 4 -> "lock"
+  | 5 -> "parse"
+  | 6 -> "wait"
+  | 7 -> "gc_pass"
+  | _ -> invalid_arg "Event.name"

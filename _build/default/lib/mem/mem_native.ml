@@ -1,0 +1,49 @@
+(** Native implementation of {!Memory.S} on OCaml 5 atomics and domains.
+
+    Cells are [Atomic.t]; cache lines are not modeled ([line = unit] and
+    [touch]/[work] are no-ops).  Thread ids are dense indices assigned on
+    first use per domain.  Event counters are kept per thread id so the
+    harness can aggregate them after a run. *)
+
+let max_threads_limit = 512
+
+let next_id = Atomic.make 0
+
+let key : int Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let id = Atomic.fetch_and_add next_id 1 in
+      if id >= max_threads_limit then failwith "Mem_native: too many threads";
+      id)
+
+(* Event counters: one int array per thread id, allocated eagerly; rows are
+   only ever written by their owning thread, so plain arrays suffice. *)
+let events = Array.init max_threads_limit (fun _ -> Array.make Event.count 0)
+
+(** Reset all event counters (call between measured runs). *)
+let reset_events () = Array.iter (fun row -> Array.fill row 0 Event.count 0) events
+
+(** Aggregate event counters across all threads. *)
+let total_events () =
+  let tot = Array.make Event.count 0 in
+  Array.iter (fun row -> Array.iteri (fun i v -> tot.(i) <- tot.(i) + v) row) events;
+  tot
+
+type line = unit
+
+let new_line () = ()
+
+type 'a r = 'a Atomic.t
+
+let make () v = Atomic.make v
+let make_fresh v = Atomic.make v
+let get = Atomic.get
+let set = Atomic.set
+let cas = Atomic.compare_and_set
+let fetch_and_add = Atomic.fetch_and_add
+let touch () = ()
+let work (_ : int) = ()
+let cpu_relax = Domain.cpu_relax
+let self () = Domain.DLS.get key
+let max_threads () = max_threads_limit
+let emit code = events.(self ()).(code) <- events.(self ()).(code) + 1
+let txn _f = None (* no HTM on stock OCaml; callers use their lock path *)

@@ -1,0 +1,75 @@
+(** The shared-memory abstraction every CSDS in ASCYLIB-OCaml is written
+    against.
+
+    Algorithms are functors over {!S} so the same code runs in two modes:
+
+    - {!Mem_native}: ['a r] is ['a Atomic.t]; programs execute on real
+      OCaml 5 domains.  Used for unit tests, domain-based stress tests,
+      examples, and the Bechamel micro-benchmarks.
+    - {!Sim.Mem}: every access is an OCaml effect handled by a
+      discrete-event multicore simulator with a cache-coherence cost model.
+      Used to reproduce the paper's cross-platform scalability results and
+      for deterministic schedule-fuzzing tests.
+
+    Conventions:
+    - [cas] uses {e physical} equality, like a pointer CAS in C.  Use it on
+      immediates (ints, constant constructors) or on record/block values
+      you previously read from the same cell.
+    - A {!line} models a cache line.  Cells created with [make line v] on
+      the same line contend as a unit in the simulator (false sharing,
+      CLHT's single-line buckets).  [touch line] models reading immutable
+      data (keys, values) that lives on the line; call it once per node
+      visited during traversals. *)
+
+module type S = sig
+  type line
+  (** A modeled cache line (simulator) or unit (native). *)
+
+  val new_line : unit -> line
+
+  type 'a r
+  (** A shared mutable cell. *)
+
+  val make : line -> 'a -> 'a r
+  (** [make line v] allocates a cell holding [v], placed on [line]. *)
+
+  val make_fresh : 'a -> 'a r
+  (** [make_fresh v] is [make (new_line ()) v]. *)
+
+  val get : 'a r -> 'a
+  val set : 'a r -> 'a -> unit
+
+  val cas : 'a r -> 'a -> 'a -> bool
+  (** [cas r expected desired] — atomic compare-and-swap with physical
+      equality on [expected]. *)
+
+  val fetch_and_add : int r -> int -> int
+  (** Atomic fetch-and-add; returns the previous value. *)
+
+  val touch : line -> unit
+  (** Model a read of immutable data residing on [line]. *)
+
+  val work : int -> unit
+  (** Charge [n] cycles of local computation (no-op natively). *)
+
+  val cpu_relax : unit -> unit
+  (** Spin-wait hint. *)
+
+  val self : unit -> int
+  (** Dense id of the calling thread (domain or simulated thread). *)
+
+  val max_threads : unit -> int
+  (** Upper bound on thread ids, for sizing per-thread arrays. *)
+
+  val emit : int -> unit
+  (** Record one algorithm-level event (see {!Event}). *)
+
+  val txn : (unit -> 'a) -> 'a option
+  (** Attempt to run [f] as a best-effort hardware transaction (TSX-style
+      lock elision).  [None] means the transaction did not run or
+      aborted — the caller must fall back to its lock path.  Native
+      OCaml has no HTM, so {!Mem_native} always returns [None]; the
+      simulator executes [f] atomically, charges its accesses, and
+      aborts on conflicts (a touched line owned by another core) or
+      capacity overflow, rolling back buffered writes. *)
+end

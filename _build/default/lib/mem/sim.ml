@@ -1,0 +1,675 @@
+(** A deterministic discrete-event multicore simulator with a MESI-like
+    cache-coherence cost model, built on OCaml 5 effect handlers.
+
+    Simulated threads are ordinary OCaml closures written against
+    {!Memory.S}; each shared-memory access performs an effect.  The
+    scheduler always resumes the thread with the smallest local clock and
+    charges the access a latency taken from the {!Ascy_platform.Platform}
+    model:
+
+    - a per-core private cache (direct-mapped tag array sized like L1+L2),
+    - a per-socket LLC (direct-mapped tag array),
+    - a directory per line tracking the owning core (modified state) and
+      the sharer set,
+    - costs for private hits, local LLC hits, in-socket and cross-socket
+      dirty-line transfers, remote clean fetches and DRAM.
+
+    This models exactly the mechanism the paper identifies as the
+    scalability limiter — stores to shared lines invalidate copies and
+    turn other threads' future loads into coherence misses — so the
+    relative throughput/latency/power shapes of CSDS algorithms are
+    preserved even though no real multicore is present.
+
+    The same machinery doubles as a deterministic concurrency tester:
+    running a workload under different seeds (schedule jitter) explores
+    many interleavings reproducibly. *)
+
+module P = Ascy_platform.Platform
+
+type access_kind = Read | Write | Rmw
+
+type pending =
+  | P_access of access_kind * int
+  | P_work of int
+  | P_none
+
+type step = Finished | Blocked
+
+type thread = {
+  tid : int;
+  core : int;
+  socket : int;
+  instr_scale : float; (* SMT issue-sharing multiplier for this thread *)
+  mutable clock : int; (* local time, cycles *)
+  mutable pend : pending;
+  mutable cont : (unit, step) Effect.Deep.continuation option;
+  mutable finished : bool;
+}
+
+type line_state = { mutable owner : int; sharers : Ascy_util.Bits.t }
+
+(* Per-thread memory-event counters. *)
+type mem_counters = {
+  mutable accesses : int;
+  mutable l1 : int;
+  mutable llc : int;
+  mutable c2c_local : int;
+  mutable c2c_remote : int;
+  mutable llc_remote : int;
+  mutable mem : int;
+  mutable rmw : int;
+  mutable energy_nj : float;
+}
+
+let fresh_counters () =
+  { accesses = 0; l1 = 0; llc = 0; c2c_local = 0; c2c_remote = 0; llc_remote = 0; mem = 0; rmw = 0; energy_nj = 0.0 }
+
+(* In-flight best-effort transaction of the currently-running simulated
+   thread (the simulator is cooperative, so one slot suffices). *)
+type txn_state = {
+  mutable t_cost : int;
+  mutable t_undo : (unit -> unit) list; (* newest first *)
+  mutable t_lines : int list; (* touched lines, deduplicated *)
+  mutable t_written : int list;
+  mutable t_nlines : int;
+}
+
+type t = {
+  plat : P.t;
+  nthreads : int;
+  jitter : int;
+  rng : Ascy_util.Xorshift.t;
+  threads : thread array;
+  lines : line_state Ascy_util.Vec.t;
+  priv : int array array; (* per-core direct-mapped private-cache tags *)
+  priv_mask : int;
+  llc_tags : int array array; (* per-socket LLC tags *)
+  llc_mask : int;
+  counters : mem_counters array;
+  events : int array array; (* per-thread algorithm events *)
+  mutable cur : int; (* currently-executing simulated thread, or -1 *)
+  mutable live : int;
+  mutable txn : txn_state option;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let dummy_line = { owner = -1; sharers = Ascy_util.Bits.create 1 }
+
+let create ?(seed = 42) ?(jitter = 0) ~platform ~nthreads () =
+  if nthreads < 1 || nthreads > P.hw_threads platform then
+    invalid_arg
+      (Printf.sprintf "Sim.create: nthreads %d out of range 1..%d for %s" nthreads
+         (P.hw_threads platform) platform.P.name);
+  let priv_slots = pow2_at_least (min platform.P.l1_lines 16384) 64 in
+  let llc_slots = pow2_at_least (min platform.P.llc_lines 524288) 1024 in
+  (* Count busy hardware threads per core to scale instruction overhead. *)
+  let busy = Array.make platform.P.cores 0 in
+  for t = 0 to nthreads - 1 do
+    let c = P.core_of platform t in
+    busy.(c) <- busy.(c) + 1
+  done;
+  let threads =
+    Array.init nthreads (fun tid ->
+        let core = P.core_of platform tid in
+        let scale = 1.0 +. (platform.P.smt_penalty *. float_of_int (busy.(core) - 1)) in
+        {
+          tid;
+          core;
+          socket = P.socket_of platform tid;
+          instr_scale = scale;
+          clock = 0;
+          pend = P_none;
+          cont = None;
+          finished = false;
+        })
+  in
+  {
+    plat = platform;
+    nthreads;
+    jitter;
+    rng = Ascy_util.Xorshift.create seed;
+    threads;
+    lines = Ascy_util.Vec.create ~capacity:4096 dummy_line;
+    priv = Array.init platform.P.cores (fun _ -> Array.make priv_slots (-1));
+    priv_mask = priv_slots - 1;
+    llc_tags = Array.init platform.P.sockets (fun _ -> Array.make llc_slots (-1));
+    llc_mask = llc_slots - 1;
+    counters = Array.init nthreads (fun _ -> fresh_counters ());
+    events = Array.init nthreads (fun _ -> Array.make Event.count 0);
+    cur = -1;
+    live = 0;
+    txn = None;
+  }
+
+(* The simulation the calling (real) thread is currently driving.  The
+   simulator is single-OS-threaded, so one slot suffices. *)
+let current : t option ref = ref None
+
+let new_line_id sim =
+  let id = Ascy_util.Vec.length sim.lines in
+  Ascy_util.Vec.push sim.lines { owner = -1; sharers = Ascy_util.Bits.create sim.plat.P.cores };
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Coherence model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let em = P.energy_model
+
+(* Install [line] in [core]'s private cache, evicting (and de-registering)
+   whatever direct-mapped slot it lands on. *)
+let install_priv sim core line =
+  let slot = line land sim.priv_mask in
+  let old = sim.priv.(core).(slot) in
+  if old >= 0 && old <> line then begin
+    let ols = Ascy_util.Vec.get sim.lines old in
+    Ascy_util.Bits.remove ols.sharers core;
+    if ols.owner = core then ols.owner <- -1 (* silent writeback *)
+  end;
+  sim.priv.(core).(slot) <- line
+
+let in_priv sim core line = sim.priv.(core).(line land sim.priv_mask) = line
+
+let install_llc sim socket line = sim.llc_tags.(socket).(line land sim.llc_mask) <- line
+let in_llc sim socket line = sim.llc_tags.(socket).(line land sim.llc_mask) = line
+
+(* Charge and account one memory access; returns its latency in cycles. *)
+let access_cost sim th kind line =
+  let p = sim.plat in
+  let ls = Ascy_util.Vec.get sim.lines line in
+  let c = th.core and s = th.socket in
+  let cnt = sim.counters.(th.tid) in
+  cnt.accesses <- cnt.accesses + 1;
+  let have_copy = in_priv sim c line && (ls.owner = c || Ascy_util.Bits.mem ls.sharers c) in
+  let lat =
+    match kind with
+    | Read ->
+        if have_copy then begin
+          cnt.l1 <- cnt.l1 + 1;
+          cnt.energy_nj <- cnt.energy_nj +. em.P.nj_l1;
+          p.P.c_l1
+        end
+        else begin
+          let lat =
+            if ls.owner >= 0 then begin
+              (* dirty elsewhere: cache-to-cache transfer, owner demotes *)
+              let osock = ls.owner / P.cores_per_socket p in
+              Ascy_util.Bits.add ls.sharers ls.owner;
+              ls.owner <- -1;
+              cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+              if osock = s then begin
+                cnt.c2c_local <- cnt.c2c_local + 1;
+                p.P.c_c2c_local
+              end
+              else begin
+                cnt.c2c_remote <- cnt.c2c_remote + 1;
+                p.P.c_c2c_remote
+              end
+            end
+            else if in_llc sim s line then begin
+              cnt.llc <- cnt.llc + 1;
+              cnt.energy_nj <- cnt.energy_nj +. em.P.nj_llc;
+              p.P.c_llc
+            end
+            else begin
+              (* clean copy on a remote socket? *)
+              let remote = ref false in
+              for os = 0 to p.P.sockets - 1 do
+                if os <> s && in_llc sim os line then remote := true
+              done;
+              if !remote then begin
+                cnt.llc_remote <- cnt.llc_remote + 1;
+                cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+                p.P.c_llc_remote
+              end
+              else begin
+                cnt.mem <- cnt.mem + 1;
+                cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
+                p.P.c_mem
+              end
+            end
+          in
+          Ascy_util.Bits.add ls.sharers c;
+          install_priv sim c line;
+          install_llc sim s line;
+          lat
+        end
+    | Write | Rmw ->
+        let base =
+          if ls.owner = c && in_priv sim c line then begin
+            cnt.l1 <- cnt.l1 + 1;
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_l1;
+            p.P.c_l1
+          end
+          else if ls.owner >= 0 then begin
+            let osock = ls.owner / P.cores_per_socket p in
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+            if osock = s then begin
+              cnt.c2c_local <- cnt.c2c_local + 1;
+              p.P.c_c2c_local
+            end
+            else begin
+              cnt.c2c_remote <- cnt.c2c_remote + 1;
+              p.P.c_c2c_remote
+            end
+          end
+          else if not (Ascy_util.Bits.is_empty ls.sharers) || in_llc sim s line then begin
+            (* upgrade: invalidate sharers; pay more if any are remote *)
+            let remote_sharer =
+              Ascy_util.Bits.exists (fun core -> core / P.cores_per_socket p <> s) ls.sharers
+            in
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+            if remote_sharer then begin
+              cnt.llc_remote <- cnt.llc_remote + 1;
+              p.P.c_llc_remote
+            end
+            else begin
+              cnt.llc <- cnt.llc + 1;
+              p.P.c_llc
+            end
+          end
+          else begin
+            cnt.mem <- cnt.mem + 1;
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
+            p.P.c_mem
+          end
+        in
+        (* Invalidate every other copy; this write owns the line. *)
+        Ascy_util.Bits.clear ls.sharers;
+        ls.owner <- c;
+        install_priv sim c line;
+        install_llc sim s line;
+        let extra =
+          match kind with
+          | Rmw ->
+              cnt.rmw <- cnt.rmw + 1;
+              p.P.c_atomic
+          | Read | Write -> 0
+        in
+        base + extra
+  in
+  let instr = int_of_float (float_of_int p.P.c_instr *. th.instr_scale) in
+  cnt.energy_nj <- cnt.energy_nj +. em.P.nj_instr;
+  let j = if sim.jitter > 0 then Ascy_util.Xorshift.below sim.rng (sim.jitter + 1) else 0 in
+  lat + instr + j
+
+(* ------------------------------------------------------------------ *)
+(* Effects & the MEMORY instance                                       *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t += Access : access_kind * int -> unit Effect.t | Work_eff : int -> unit Effect.t
+
+exception Txn_abort
+
+(* Transaction capacity: lines an L1-resident read/write set can hold. *)
+let txn_capacity = 64
+
+(* Account one access inside a transaction: abort on conflict (line in
+   modified state in another core's cache) or capacity overflow; charge a
+   private-hit or LLC-hit estimate.  No coherence state changes until
+   commit. *)
+let txn_access sim (tx : txn_state) kind line =
+  let th = sim.threads.(sim.cur) in
+  let ls = Ascy_util.Vec.get sim.lines line in
+  if ls.owner >= 0 && ls.owner <> th.core then raise Txn_abort;
+  if not (List.mem line tx.t_lines) then begin
+    tx.t_nlines <- tx.t_nlines + 1;
+    if tx.t_nlines > txn_capacity then raise Txn_abort;
+    tx.t_lines <- line :: tx.t_lines
+  end;
+  (match kind with
+  | Write | Rmw -> if not (List.mem line tx.t_written) then tx.t_written <- line :: tx.t_written
+  | Read -> ());
+  let base = if in_priv sim th.core line then sim.plat.P.c_l1 else sim.plat.P.c_llc in
+  tx.t_cost <- tx.t_cost + base + sim.plat.P.c_instr
+
+let running () = match !current with Some sim -> sim.cur >= 0 | None -> false
+
+let the_sim () =
+  match !current with
+  | Some sim -> sim
+  | None -> failwith "Sim: no simulation installed (use Sim.with_sim)"
+
+(** The {!Memory.S} implementation backed by the installed simulation.
+    Cells created while a simulation is installed but no simulated thread
+    is running (structure setup) cost nothing and start uncached. *)
+module Mem : Memory.S with type line = int = struct
+  type line = int
+
+  let new_line () = new_line_id (the_sim ())
+
+  type 'a r = { line : int; mutable v : 'a }
+
+  (* Route an access: inside a transaction it is buffered/accounted by
+     txn_access; otherwise it is an effect handled by the scheduler. *)
+  let access kind line =
+    match !current with
+    | Some sim when sim.cur >= 0 -> (
+        match sim.txn with
+        | Some tx -> txn_access sim tx kind line
+        | None -> Effect.perform (Access (kind, line)))
+    | _ -> ()
+
+  let in_txn () = match !current with Some sim -> sim.txn | None -> None
+
+  let log_undo r =
+    match in_txn () with
+    | Some tx ->
+        let old = r.v in
+        tx.t_undo <- (fun () -> r.v <- old) :: tx.t_undo
+    | None -> ()
+
+  let make line v =
+    access Write line;
+    { line; v }
+
+  let make_fresh v = make (new_line ()) v
+
+  let get r =
+    access Read r.line;
+    r.v
+
+  let set r v =
+    access Write r.line;
+    log_undo r;
+    r.v <- v
+
+  let cas r expected desired =
+    access Rmw r.line;
+    if r.v == expected then begin
+      log_undo r;
+      r.v <- desired;
+      true
+    end
+    else false
+
+  let fetch_and_add r n =
+    access Rmw r.line;
+    let old = r.v in
+    log_undo r;
+    r.v <- old + n;
+    old
+
+  let touch line = access Read line
+
+  let work n =
+    match !current with
+    | Some sim when sim.cur >= 0 -> (
+        match sim.txn with
+        | Some tx -> tx.t_cost <- tx.t_cost + n
+        | None -> Effect.perform (Work_eff n))
+    | _ -> ()
+
+  let cpu_relax () = work 6
+
+  let self () =
+    let sim = the_sim () in
+    if sim.cur < 0 then 0 else sim.cur
+
+  let max_threads () = (the_sim ()).nthreads
+
+  let emit code =
+    let sim = the_sim () in
+    if sim.cur >= 0 then
+      sim.events.(sim.cur).(code) <- sim.events.(sim.cur).(code) + 1
+
+  let txn f =
+    match !current with
+    | Some sim when sim.cur >= 0 && sim.txn = None ->
+        let tx = { t_cost = sim.plat.P.c_atomic; t_undo = []; t_lines = []; t_written = []; t_nlines = 0 } in
+        sim.txn <- Some tx;
+        (match f () with
+        | v ->
+            sim.txn <- None;
+            (* commit: written lines become exclusively ours *)
+            let th = sim.threads.(sim.cur) in
+            List.iter
+              (fun line ->
+                let ls = Ascy_util.Vec.get sim.lines line in
+                Ascy_util.Bits.clear ls.sharers;
+                ls.owner <- th.core;
+                install_priv sim th.core line;
+                install_llc sim th.socket line)
+              tx.t_written;
+            Effect.perform (Work_eff (tx.t_cost + sim.plat.P.c_atomic));
+            Some v
+        | exception Txn_abort ->
+            sim.txn <- None;
+            List.iter (fun undo -> undo ()) tx.t_undo;
+            sim.counters.(sim.cur).rmw <- sim.counters.(sim.cur).rmw + 1;
+            Effect.perform (Work_eff (tx.t_cost + (2 * sim.plat.P.c_atomic)));
+            None)
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Binary min-heap of thread ids keyed by thread clocks (ties by tid for
+   determinism). *)
+module Heap = struct
+  type h = { mutable a : int array; mutable n : int; key : int -> int }
+
+  let create cap key = { a = Array.make (max cap 1) 0; n = 0; key }
+  let less h x y = h.key x < h.key y || (h.key x = h.key y && x < y)
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 a 0 h.n;
+      h.a <- a
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && less h h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    assert (h.n > 0);
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    if h.n > 0 then begin
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.n && less h h.a.(l) h.a.(!s) then s := l;
+        if r < h.n && less h h.a.(r) h.a.(!s) then s := r;
+        if !s = !i then continue := false
+        else begin
+          let tmp = h.a.(!s) in
+          h.a.(!s) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !s
+        end
+      done
+    end;
+    top
+
+  let is_empty h = h.n = 0
+end
+
+exception Thread_failure of int * exn * string
+
+(** [run sim bodies] runs one simulated thread per element of [bodies]
+    (length must equal [nthreads]) to completion.  Deterministic for a
+    given seed.  Returns the largest thread clock (the makespan, in
+    cycles). *)
+let run sim bodies =
+  if Array.length bodies <> sim.nthreads then invalid_arg "Sim.run: wrong number of bodies";
+  (match !current with
+  | Some s when s != sim -> failwith "Sim.run: a different simulation is installed"
+  | _ -> current := Some sim);
+  Array.iter
+    (fun th ->
+      th.clock <- 0;
+      th.pend <- P_none;
+      th.cont <- None;
+      th.finished <- false)
+    sim.threads;
+  let handler : (unit, step) Effect.Deep.handler =
+    {
+      retc = (fun () -> Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Access (kind, line) ->
+              Some
+                (fun (k : (a, step) Effect.Deep.continuation) ->
+                  let th = sim.threads.(sim.cur) in
+                  th.pend <- P_access (kind, line);
+                  th.cont <- Some k;
+                  Blocked)
+          | Work_eff n ->
+              Some
+                (fun (k : (a, step) Effect.Deep.continuation) ->
+                  let th = sim.threads.(sim.cur) in
+                  th.pend <- P_work n;
+                  th.cont <- Some k;
+                  Blocked)
+          | _ -> None);
+    }
+  in
+  let heap = Heap.create sim.nthreads (fun tid -> sim.threads.(tid).clock) in
+  let fresh = Array.map (fun b -> Some b) bodies in
+  for tid = 0 to sim.nthreads - 1 do
+    Heap.push heap tid
+  done;
+  sim.live <- sim.nthreads;
+  let makespan = ref 0 in
+  while not (Heap.is_empty heap) do
+    let tid = Heap.pop heap in
+    let th = sim.threads.(tid) in
+    sim.cur <- tid;
+    let step =
+      match fresh.(tid) with
+      | Some body ->
+          fresh.(tid) <- None;
+          (try Effect.Deep.match_with body () handler
+           with e -> raise (Thread_failure (tid, e, Printexc.get_backtrace ())))
+      | None -> (
+          (* commit the pending access, charge its latency, resume *)
+          (match th.pend with
+          | P_access (kind, line) -> th.clock <- th.clock + access_cost sim th kind line
+          | P_work n ->
+              th.clock <- th.clock + int_of_float (float_of_int n *. th.instr_scale)
+          | P_none -> ());
+          th.pend <- P_none;
+          match th.cont with
+          | Some k ->
+              th.cont <- None;
+              (try Effect.Deep.continue k ()
+               with e -> raise (Thread_failure (tid, e, Printexc.get_backtrace ())))
+          | None -> Finished)
+    in
+    (match step with
+    | Finished ->
+        th.finished <- true;
+        sim.live <- sim.live - 1;
+        if th.clock > !makespan then makespan := th.clock
+    | Blocked -> Heap.push heap tid);
+    sim.cur <- -1
+  done;
+  sim.cur <- -1;
+  !makespan
+
+(** Install every allocated line into every socket's LLC, emulating the
+    steady state a long-running benchmark reaches (the paper measures
+    5-second runs): first accesses pay LLC latency, not DRAM, and private
+    caches still start cold. *)
+let warm sim =
+  for line = 0 to Ascy_util.Vec.length sim.lines - 1 do
+    for s = 0 to sim.plat.P.sockets - 1 do
+      install_llc sim s line
+    done
+  done
+
+(** [with_sim ?seed ?jitter ~platform ~nthreads f] installs a fresh
+    simulation, runs [f sim] (which typically builds a structure through
+    {!Mem} and then calls {!run}), and uninstalls it. *)
+let with_sim ?seed ?jitter ~platform ~nthreads f =
+  let sim = create ?seed ?jitter ~platform ~nthreads () in
+  let saved = !current in
+  current := Some sim;
+  Fun.protect ~finally:(fun () -> current := saved) (fun () -> f sim)
+
+(** Current clock (cycles) of the executing simulated thread. *)
+let now () =
+  let sim = the_sim () in
+  if sim.cur < 0 then 0 else sim.threads.(sim.cur).clock
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type run_stats = {
+  makespan_cycles : int;
+  seconds : float;
+  accesses : int;
+  hits_l1 : int;
+  hits_llc : int;
+  transfers_local : int;
+  transfers_remote : int;
+  fetch_remote : int;
+  misses_mem : int;
+  atomics : int;
+  energy_j : float;  (** dynamic + static energy over the makespan *)
+  power_w : float;
+  events : int array;
+}
+
+(** Aggregate statistics of the last {!run}.  [makespan] is the value
+    {!run} returned. *)
+let stats sim ~makespan =
+  let seconds = float_of_int makespan /. (sim.plat.P.ghz *. 1e9) in
+  let agg = fresh_counters () in
+  Array.iter
+    (fun (c : mem_counters) ->
+      agg.accesses <- agg.accesses + c.accesses;
+      agg.l1 <- agg.l1 + c.l1;
+      agg.llc <- agg.llc + c.llc;
+      agg.c2c_local <- agg.c2c_local + c.c2c_local;
+      agg.c2c_remote <- agg.c2c_remote + c.c2c_remote;
+      agg.llc_remote <- agg.llc_remote + c.llc_remote;
+      agg.mem <- agg.mem + c.mem;
+      agg.rmw <- agg.rmw + c.rmw;
+      agg.energy_nj <- agg.energy_nj +. c.energy_nj)
+    sim.counters;
+  let busy_cores =
+    let seen = Array.make sim.plat.P.cores false in
+    Array.iter (fun th -> seen.(th.core) <- true) sim.threads;
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
+  in
+  let static_j = em.P.w_static_core *. float_of_int busy_cores *. seconds in
+  let energy_j = (agg.energy_nj *. 1e-9) +. static_j in
+  let events = Array.make Event.count 0 in
+  Array.iter (fun row -> Array.iteri (fun i v -> events.(i) <- events.(i) + v) row) sim.events;
+  {
+    makespan_cycles = makespan;
+    seconds;
+    accesses = agg.accesses;
+    hits_l1 = agg.l1;
+    hits_llc = agg.llc;
+    transfers_local = agg.c2c_local;
+    transfers_remote = agg.c2c_remote;
+    fetch_remote = agg.llc_remote;
+    misses_mem = agg.mem;
+    atomics = agg.rmw;
+    energy_j;
+    power_w = (if seconds > 0.0 then energy_j /. seconds else 0.0);
+    events;
+  }
+
+(** All accesses that were not private-cache hits. *)
+let misses st = st.hits_llc + st.transfers_local + st.transfers_remote + st.fetch_remote + st.misses_mem

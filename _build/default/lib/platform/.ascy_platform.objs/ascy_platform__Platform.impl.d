@@ -1,0 +1,1 @@
+lib/platform/platform.ml: List String

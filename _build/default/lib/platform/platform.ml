@@ -1,0 +1,201 @@
+(** Models of the six machines used in the paper's evaluation.
+
+    Each platform is a parameter record consumed by the simulator
+    ({!Ascy_mem.Sim}): topology (cores, sockets, SMT threads per core),
+    clock frequency, cache geometry, and the latency (in cycles) of each
+    class of memory access.  Latency values follow the same authors'
+    published cross-platform measurements (David, Guerraoui, Trigonakis,
+    "Everything you always wanted to know about synchronization but were
+    afraid to ask", SOSP 2013), rounded; they set the *relative* cost of
+    local vs. remote cache-line transfers, which is what drives the
+    scalability shapes the paper reports. *)
+
+type t = {
+  name : string;
+  cores : int;  (** physical cores *)
+  smt : int;  (** hardware threads per core *)
+  sockets : int;  (** dies/sockets reachable only via interconnect *)
+  ghz : float;  (** clock frequency, for cycles -> seconds *)
+  l1_lines : int;  (** private cache capacity, in 64B lines (L1+L2 combined) *)
+  llc_lines : int;  (** per-socket shared LLC capacity in lines *)
+  c_l1 : int;  (** private-cache hit *)
+  c_llc : int;  (** hit in the local socket's LLC *)
+  c_c2c_local : int;  (** dirty-line transfer from a core in the same socket *)
+  c_c2c_remote : int;  (** dirty-line transfer across sockets *)
+  c_llc_remote : int;  (** clean-line fetch from a remote socket *)
+  c_mem : int;  (** DRAM access *)
+  c_instr : int;  (** fixed per-access instruction overhead *)
+  c_atomic : int;  (** extra cycles charged by an atomic RMW *)
+  smt_penalty : float;
+      (** multiplier on instruction overhead per extra busy hardware thread
+          sharing the core (models issue-bandwidth sharing) *)
+}
+
+let hw_threads p = p.cores * p.smt
+let cores_per_socket p = p.cores / p.sockets
+
+(** Thread placement used by the paper: pin threads filling one socket's
+    physical cores first, then the next socket, and use SMT contexts only
+    once all physical cores are busy.  [core_of p thread] returns the
+    physical core a given thread index runs on. *)
+let core_of p thread =
+  assert (thread >= 0 && thread < hw_threads p);
+  thread mod p.cores
+
+let socket_of p thread = core_of p thread / cores_per_socket p
+
+(* 48-core AMD Opteron: four 2-die MCMs = 8 NUMA nodes of 6 cores.  Even
+   "local" dirty transfers are expensive (non-inclusive LLC; probes go
+   through memory controllers), which is why it scales worst in the paper. *)
+let opteron =
+  {
+    name = "Opteron";
+    cores = 48;
+    smt = 1;
+    sockets = 8;
+    ghz = 2.1;
+    l1_lines = 9216 (* 64K L1 + 512K L2 *);
+    llc_lines = 81920 (* 5M per die *);
+    c_l1 = 3;
+    c_llc = 40;
+    c_c2c_local = 110;
+    c_c2c_remote = 310;
+    c_llc_remote = 220;
+    c_mem = 350;
+    c_instr = 5;
+    c_atomic = 35;
+    smt_penalty = 0.0;
+  }
+
+(* 20-core (40 hw threads) 2-socket Ivy-Bridge Xeon. *)
+let xeon20 =
+  {
+    name = "Xeon20";
+    cores = 20;
+    smt = 2;
+    sockets = 2;
+    ghz = 2.8;
+    l1_lines = 4608 (* 32K L1 + 256K L2 *);
+    llc_lines = 409600 (* 25M *);
+    c_l1 = 2;
+    c_llc = 40;
+    c_c2c_local = 60;
+    c_c2c_remote = 160;
+    c_llc_remote = 130;
+    c_mem = 230;
+    c_instr = 4;
+    c_atomic = 22;
+    smt_penalty = 0.55;
+  }
+
+(* 40-core (80 hw threads) 4-socket Westmere-EX Xeon. *)
+let xeon40 =
+  {
+    name = "Xeon40";
+    cores = 40;
+    smt = 2;
+    sockets = 4;
+    ghz = 2.13;
+    l1_lines = 4608;
+    llc_lines = 491520 (* 30M *);
+    c_l1 = 3;
+    c_llc = 45;
+    c_c2c_local = 75;
+    c_c2c_remote = 250;
+    c_llc_remote = 190;
+    c_mem = 300;
+    c_instr = 5;
+    c_atomic = 28;
+    smt_penalty = 0.55;
+  }
+
+(* Tilera TILE-Gx36: 36 simple cores, one chip, mesh-distributed LLC.
+   Uniform but slow-ish; low clock. *)
+let tilera =
+  {
+    name = "Tilera";
+    cores = 36;
+    smt = 1;
+    sockets = 1;
+    ghz = 1.2;
+    l1_lines = 4608;
+    llc_lines = 147456 (* 9M distributed *);
+    c_l1 = 2;
+    c_llc = 45;
+    c_c2c_local = 55;
+    c_c2c_remote = 55;
+    c_llc_remote = 45;
+    c_mem = 130;
+    c_instr = 7 (* simple in-order cores *);
+    c_atomic = 20;
+    smt_penalty = 0.0;
+  }
+
+(* Oracle SPARC T4-4: 4 sockets x 8 cores x 8 threads = 256 hw threads.
+   Heavily multithreaded narrow cores: big SMT penalty, decent caches. *)
+let t44 =
+  {
+    name = "T4-4";
+    cores = 32;
+    smt = 8;
+    sockets = 4;
+    ghz = 3.0;
+    l1_lines = 4352 (* 16K L1 + 256K L2 *);
+    llc_lines = 65536 (* 4M per die *);
+    c_l1 = 3;
+    c_llc = 25;
+    c_c2c_local = 55;
+    c_c2c_remote = 145;
+    c_llc_remote = 120;
+    c_mem = 200;
+    c_instr = 6;
+    c_atomic = 18;
+    smt_penalty = 0.35;
+  }
+
+(* 4-core desktop Haswell with TSX, used only for the HTM experiment. *)
+let haswell =
+  {
+    name = "Haswell";
+    cores = 4;
+    smt = 2;
+    sockets = 1;
+    ghz = 3.4;
+    l1_lines = 4608;
+    llc_lines = 131072 (* 8M *);
+    c_l1 = 2;
+    c_llc = 34;
+    c_c2c_local = 50;
+    c_c2c_remote = 50;
+    c_llc_remote = 34;
+    c_mem = 200;
+    c_instr = 4;
+    c_atomic = 20;
+    smt_penalty = 0.55;
+  }
+
+(** The five platforms of the main evaluation (Figure 2, 8, 9). *)
+let main_five = [ opteron; xeon20; xeon40; tilera; t44 ]
+
+let all = main_five @ [ haswell ]
+
+let by_name name =
+  match List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii name) all with
+  | Some p -> p
+  | None -> invalid_arg ("unknown platform: " ^ name)
+
+(** Energy model parameters (nanojoules per event; watts static per active
+    core).  Used to reproduce the paper's relative-power plots: power grows
+    with cache-line transfers, so algorithms with more coherence traffic
+    both run slower and burn more energy. *)
+type energy = {
+  nj_instr : float;
+  nj_l1 : float;
+  nj_llc : float;
+  nj_transfer : float;  (** any core-to-core or cross-socket line transfer *)
+  nj_mem : float;
+  w_static_core : float;
+}
+
+let energy_model =
+  { nj_instr = 0.15; nj_l1 = 0.35; nj_llc = 2.2; nj_transfer = 6.5; nj_mem = 14.0; w_static_core = 1.4 }

@@ -1,0 +1,1 @@
+lib/rcu/rcu.ml: Array Ascy_locks Ascy_mem

@@ -1,0 +1,39 @@
+(** Userspace read-copy-update (substrate for the [urcu] hash table).
+
+    Classic per-thread counter scheme (Desnoyers et al.): a reader makes
+    its counter odd for the duration of the read-side critical section;
+    [synchronize] snapshots all counters and waits until every reader that
+    was inside a critical section has left it (counter changed or even).
+    Writers that removed nodes call [synchronize] before freeing them —
+    which is exactly the update-side cost the paper contrasts with
+    ASCY4-style designs. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module B = Ascy_locks.Backoff.Make (Mem)
+
+  type t = { ctr : int Mem.r array }
+
+  let create () = { ctr = Array.init (Mem.max_threads ()) (fun _ -> Mem.make_fresh 0) }
+
+  let read_lock t =
+    let c = t.ctr.(Mem.self ()) in
+    Mem.set c (Mem.get c + 1) (* becomes odd *)
+
+  let read_unlock t =
+    let c = t.ctr.(Mem.self ()) in
+    Mem.set c (Mem.get c + 1) (* becomes even *)
+
+  (** Wait for all current readers to finish their critical sections. *)
+  let synchronize t =
+    Mem.emit Ascy_mem.Event.wait;
+    let snap = Array.map Mem.get t.ctr in
+    Array.iteri
+      (fun i s ->
+        if s land 1 = 1 then begin
+          let b = B.create () in
+          while Mem.get t.ctr.(i) = s do
+            B.once b
+          done
+        end)
+      snap
+end

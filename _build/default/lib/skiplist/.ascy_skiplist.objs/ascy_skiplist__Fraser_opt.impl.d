@@ -1,0 +1,1 @@
+lib/skiplist/fraser_opt.ml: Array Ascy_core Ascy_mem Ascy_ssmem Level_gen Option Tower

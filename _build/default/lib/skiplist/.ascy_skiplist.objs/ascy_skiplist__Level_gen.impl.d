@@ -1,0 +1,1 @@
+lib/skiplist/level_gen.ml: Array Ascy_core Ascy_mem Ascy_util

@@ -1,0 +1,1 @@
+lib/skiplist/pugh_sl.ml: Array Ascy_core Ascy_locks Ascy_mem Ascy_ssmem Level_gen Option

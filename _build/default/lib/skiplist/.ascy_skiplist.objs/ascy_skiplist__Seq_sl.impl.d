@@ -1,0 +1,1 @@
+lib/skiplist/seq_sl.ml: Array Ascy_mem Level_gen Option

@@ -1,0 +1,1 @@
+lib/skiplist/tower.ml: Array Ascy_mem

@@ -1,0 +1,95 @@
+(** Sequential skip list — the asynchronized baseline (Table 1 "async").
+    Same caveat as {!Ascy_linkedlist.Seq_list}: incorrect when shared, but
+    the practical performance upper bound. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  module Lg = Level_gen.Make (Mem)
+
+  type 'v node = Nil | Node of 'v info
+  and 'v info = { key : int; value : 'v option; line : Mem.line; nexts : 'v node Mem.r array }
+
+  type 'v t = { head : 'v info; levels : Lg.t }
+
+  let name = "sl-async"
+
+  let mk_info key value height =
+    let line = Mem.new_line () in
+    { key; value; line; nexts = Array.init height (fun _ -> Mem.make line Nil) }
+
+  let create ?hint ?read_only_fail:_ () =
+    let max_level = Lg.max_for_hint (Option.value hint ~default:1024) in
+    { head = mk_info min_int None max_level; levels = Lg.create max_level }
+
+  let height t = Array.length t.head.nexts
+
+  (* preds.(lvl) = last info with key < k at level lvl *)
+  let parse t k =
+    let preds = Array.make (height t) t.head in
+    let rec go info lvl =
+      if lvl < 0 then preds
+      else
+        match Mem.get info.nexts.(lvl) with
+        | Node n when n.key < k ->
+            Mem.touch n.line;
+            go n lvl
+        | _ ->
+            preds.(lvl) <- info;
+            go info (lvl - 1)
+    in
+    go t.head (height t - 1)
+
+  let search t k =
+    let rec go info lvl =
+      if lvl < 0 then None
+      else
+        match Mem.get info.nexts.(lvl) with
+        | Node n when n.key < k ->
+            Mem.touch n.line;
+            go n lvl
+        | Node n when n.key = k -> n.value
+        | _ -> go info (lvl - 1)
+    in
+    go t.head (height t - 1)
+
+  let insert t k v =
+    let preds = parse t k in
+    match Mem.get preds.(0).nexts.(0) with
+    | Node n when n.key = k -> false
+    | _ ->
+        let h = Lg.next t.levels in
+        let n = mk_info k (Some v) h in
+        for lvl = 0 to h - 1 do
+          Mem.set n.nexts.(lvl) (Mem.get preds.(lvl).nexts.(lvl));
+          Mem.set preds.(lvl).nexts.(lvl) (Node n)
+        done;
+        true
+
+  let remove t k =
+    let preds = parse t k in
+    match Mem.get preds.(0).nexts.(0) with
+    | Node n when n.key = k ->
+        for lvl = 0 to Array.length n.nexts - 1 do
+          if lvl < Array.length preds.(lvl).nexts then
+            match Mem.get preds.(lvl).nexts.(lvl) with
+            | Node m when m == n -> Mem.set preds.(lvl).nexts.(lvl) (Mem.get n.nexts.(lvl))
+            | _ -> ()
+        done;
+        true
+    | _ -> false
+
+  let size t =
+    let rec go info acc =
+      match Mem.get info.nexts.(0) with Nil -> acc | Node n -> go n (acc + 1)
+    in
+    go t.head 0
+
+  let validate t =
+    let rec level0 info last =
+      match Mem.get info.nexts.(0) with
+      | Nil -> Ok ()
+      | Node n -> if n.key <= last then Error "keys not strictly increasing" else level0 n n.key
+    in
+    level0 t.head min_int
+
+  let op_done _ = ()
+end

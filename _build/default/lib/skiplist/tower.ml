@@ -1,0 +1,43 @@
+(** Shared node representation for the lock-free skip lists (fraser and
+    fraser-opt): a tower of per-level next pointers, each holding an
+    immutable [link] record whose [mark] bit logically deletes the node at
+    that level (the OCaml equivalent of Fraser's tagged pointers). *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type 'v node = Nil | Node of 'v info
+  and 'v info = { key : int; value : 'v option; line : Mem.line; nexts : 'v link Mem.r array }
+  and 'v link = { mark : bool; succ : 'v node }
+
+  let mk_info key value height =
+    let line = Mem.new_line () in
+    {
+      key;
+      value;
+      line;
+      nexts = Array.init height (fun _ -> Mem.make line { mark = false; succ = Nil });
+    }
+
+  (* Number of live (unmarked-at-level-0) elements. *)
+  let size_of head =
+    let rec go (l : 'v link) acc =
+      match l.succ with
+      | Nil -> acc
+      | Node n ->
+          let nl = Mem.get n.nexts.(0) in
+          go nl (if nl.mark then acc else acc + 1)
+    in
+    go (Mem.get head.nexts.(0)) 0
+
+  (* Level-0 live keys strictly increasing. *)
+  let validate_of head =
+    let rec go (l : 'v link) last =
+      match l.succ with
+      | Nil -> Ok ()
+      | Node n ->
+          let nl = Mem.get n.nexts.(0) in
+          if nl.mark then go nl last
+          else if n.key <= last then Error "live keys not strictly increasing"
+          else go nl n.key
+    in
+    go (Mem.get head.nexts.(0)) min_int
+end

@@ -1,0 +1,1 @@
+lib/ssmem/ssmem.ml: Array Ascy_mem List

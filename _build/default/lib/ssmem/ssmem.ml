@@ -1,0 +1,131 @@
+(** SSMEM: an epoch-based memory reclamation scheme (paper §3).
+
+    Freed nodes are not reusable until a garbage-collection pass proves
+    that no thread can still hold a reference, using per-thread activity
+    timestamps (quiescent-state-based reclamation, as in the C SSMEM):
+
+    - every thread bumps its own timestamp between operations
+      ([quiesce], wired to [Set_intf.op_done]);
+    - [free] buffers garbage in the calling thread's current batch;
+    - once [gc_threshold] objects have accumulated, the batch is stamped
+      with a snapshot of all timestamps and parked; parked batches whose
+      every stamp has since advanced are reclaimed.
+
+    In OCaml the runtime GC already guarantees memory safety and ABA
+    freedom, so "reclaiming" here feeds a statistics channel and an
+    optional recycler rather than a raw allocator; what is preserved from
+    the paper is the *behaviour*: deferred reuse, configurable garbage
+    thresholds (the Tilera runs use 128 instead of 512), GC-pass counts,
+    and the non-blocking design based on per-thread counters. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type garbage = Garbage : 'a -> garbage
+
+  type batch = { stamp : int array; items : garbage list; size : int }
+
+  type thread_state = {
+    mutable current : garbage list;
+    mutable current_size : int;
+    mutable parked : batch list;
+    mutable freed : int;
+    mutable reclaimed : int;
+    mutable gc_passes : int;
+  }
+
+  type t = {
+    gc_threshold : int;
+    ts : int Mem.r array; (* per-thread activity timestamps *)
+    states : thread_state option array; (* lazily created, owner-only *)
+    reclaimer : (garbage -> unit) option;
+  }
+
+  let create ?(gc_threshold = 512) ?reclaimer () =
+    let n = Mem.max_threads () in
+    {
+      gc_threshold;
+      ts = Array.init n (fun _ -> Mem.make_fresh 0);
+      states = Array.make n None;
+      reclaimer;
+    }
+
+  let state t =
+    let me = Mem.self () in
+    match t.states.(me) with
+    | Some s -> s
+    | None ->
+        let s =
+          { current = []; current_size = 0; parked = []; freed = 0; reclaimed = 0; gc_passes = 0 }
+        in
+        t.states.(me) <- Some s;
+        s
+
+  let snapshot t = Array.map Mem.get t.ts
+
+  (* A parked batch is safe once every thread's timestamp moved past the
+     one recorded when the batch was parked (threads that never registered
+     stay at their initial value only if they never run operations; they
+     hold no references, so a strictly-greater check on changed entries
+     suffices: we require ts > stamp OR stamp = ts = 0 meaning idle). *)
+  let batch_safe t b =
+    let ok = ref true in
+    Array.iteri
+      (fun i s -> if not (Mem.get t.ts.(i) > s || s = 0) then ok := false)
+      b.stamp;
+    !ok
+
+  let collect t s =
+    s.gc_passes <- s.gc_passes + 1;
+    Mem.emit Ascy_mem.Event.gc_pass;
+    let ready, still = List.partition (batch_safe t) s.parked in
+    s.parked <- still;
+    List.iter
+      (fun b ->
+        s.reclaimed <- s.reclaimed + b.size;
+        match t.reclaimer with
+        | Some r -> List.iter r b.items
+        | None -> ())
+      ready
+
+  (** Announce a quiescent point: the calling thread holds no references
+      into any structure using this allocator.  Call between operations. *)
+  let quiesce t =
+    let me = Mem.self () in
+    Mem.set t.ts.(me) (Mem.get t.ts.(me) + 1);
+    (* opportunistically retire parked batches, as the C allocator does on
+       its allocation path *)
+    match t.states.(me) with
+    | Some s when s.parked <> [] -> collect t s
+    | _ -> ()
+
+
+  (** Defer [x] for reclamation. *)
+  let free t x =
+    let s = state t in
+    s.current <- Garbage x :: s.current;
+    s.current_size <- s.current_size + 1;
+    s.freed <- s.freed + 1;
+    if s.current_size >= t.gc_threshold then begin
+      let stamp = snapshot t in
+      (* mark our own slot as always-safe: we are parking, not reading *)
+      stamp.(Mem.self ()) <- 0;
+      s.parked <- { stamp; items = s.current; size = s.current_size } :: s.parked;
+      s.current <- [];
+      s.current_size <- 0;
+      collect t s
+    end
+
+  type stats = { freed : int; reclaimed : int; pending : int; gc_passes : int }
+
+  (** Aggregate statistics across all threads. *)
+  let stats t =
+    let freed = ref 0 and reclaimed = ref 0 and passes = ref 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (s : thread_state) ->
+            freed := !freed + s.freed;
+            reclaimed := !reclaimed + s.reclaimed;
+            passes := !passes + s.gc_passes)
+      t.states;
+    { freed = !freed; reclaimed = !reclaimed; pending = !freed - !reclaimed; gc_passes = !passes }
+end

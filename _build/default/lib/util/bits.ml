@@ -1,0 +1,63 @@
+(** Fixed-capacity bitsets over dense small-integer universes.
+
+    Used by the coherence directory to track which cores hold a shared copy
+    of a cache line (up to 256 hardware threads on the T4-4 model). *)
+
+type t = { words : int array }
+
+let word_bits = Sys.int_size (* 63 on 64-bit *)
+
+let create n = { words = Array.make ((n + word_bits - 1) / word_bits) 0 }
+
+let capacity t = Array.length t.words * word_bits
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let add t i = t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let mem t i = t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let is_empty t =
+  let rec go i = i >= Array.length t.words || (t.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let popcount_word w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+(** [iter f t] applies [f] to every member in increasing order. *)
+let iter f t =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to word_bits - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * word_bits) + b)
+        done)
+    t.words
+
+(** [choose t] returns the smallest member, or [-1] if empty. *)
+let choose t =
+  let n = Array.length t.words in
+  let rec go wi =
+    if wi >= n then -1
+    else if t.words.(wi) = 0 then go (wi + 1)
+    else begin
+      let w = t.words.(wi) in
+      let rec bit b = if w land (1 lsl b) <> 0 then b else bit (b + 1) in
+      (wi * word_bits) + bit 0
+    end
+  in
+  go 0
+
+(** [exists f t] is true if some member satisfies [f]. *)
+let exists f t =
+  let found = ref false in
+  (try
+     iter (fun i -> if f i then begin found := true; raise Exit end) t
+   with Exit -> ());
+  !found

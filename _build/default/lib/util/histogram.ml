@@ -1,0 +1,38 @@
+(** Latency histograms with logarithmic buckets and exact percentile support
+    for moderate sample counts.
+
+    The harness records one sample per measured operation (or a sampled
+    subset); percentiles are computed by sorting the raw samples, matching
+    how the paper reports 1/25/50/75/99-percentile latency distributions. *)
+
+type t = { samples : float Vec.t; mutable sum : float; mutable count : int }
+
+let create () = { samples = Vec.create ~capacity:1024 0.0; sum = 0.0; count = 0 }
+
+let add t x =
+  Vec.push t.samples x;
+  t.sum <- t.sum +. x;
+  t.count <- t.count + 1
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(** [percentile t p] returns the [p]-th percentile (0 <= p <= 100) using the
+    nearest-rank method; 0 when the histogram is empty. *)
+let percentile t p =
+  if t.count = 0 then 0.0
+  else begin
+    Vec.sort compare t.samples;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let idx = max 0 (min (t.count - 1) (rank - 1)) in
+    Vec.get t.samples idx
+  end
+
+(** The five percentiles the paper plots: 1, 25, 50, 75, 99. *)
+let summary t =
+  [| percentile t 1.0; percentile t 25.0; percentile t 50.0; percentile t 75.0; percentile t 99.0 |]
+
+let merge a b =
+  Vec.iter (fun x -> add a x) b.samples;
+  a

@@ -1,0 +1,47 @@
+(** Xorshift128+ pseudo-random number generator.
+
+    A small, fast, seedable PRNG used by workload generators and by the
+    simulator's deterministic choices.  Not cryptographic.  Each generator is
+    an independent state, so per-thread generators never contend. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64 }
+
+let create seed =
+  (* SplitMix64 to spread the seed over both words. *)
+  let z = ref (Int64.of_int (seed lxor 0x9E3779B9)) in
+  let next () =
+    z := Int64.add !z 0x9E3779B97F4A7C15L;
+    let x = !z in
+    let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+    let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94D049BB133111EBL in
+    Int64.logxor x (Int64.shift_right_logical x 31)
+  in
+  let s0 = next () in
+  let s1 = next () in
+  let s1 = if s0 = 0L && s1 = 0L then 1L else s1 in
+  { s0; s1 }
+
+let next_int64 t =
+  let s1 = t.s0 and s0 = t.s1 in
+  t.s0 <- s0;
+  let s1 = Int64.logxor s1 (Int64.shift_left s1 23) in
+  let s1 =
+    Int64.logxor (Int64.logxor s1 (Int64.shift_right_logical s1 17))
+      (Int64.logxor s0 (Int64.shift_right_logical s0 26))
+  in
+  t.s1 <- s1;
+  Int64.add s1 s0
+
+(** [next t] returns a non-negative random [int]. *)
+let next t = Int64.to_int (next_int64 t) land max_int
+
+(** [below t n] returns a uniform integer in [\[0, n)].  Requires [n > 0]. *)
+let below t n =
+  assert (n > 0);
+  next t mod n
+
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+let float t = float_of_int (next t) /. (float_of_int max_int +. 1.)
+
+(** [bool t p] is [true] with probability [p]. *)
+let bool t p = float t < p

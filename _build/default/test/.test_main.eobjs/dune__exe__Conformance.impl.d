@@ -1,0 +1,1 @@
+test/conformance.ml: Alcotest Array Ascy_core Ascy_mem Ascy_platform Ascy_util Domain Hashtbl List Printf QCheck QCheck_alcotest String

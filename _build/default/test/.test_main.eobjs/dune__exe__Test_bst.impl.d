@@ -1,0 +1,1 @@
+test/test_bst.ml: Ascy_bst Conformance

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Ascy_harness Ascy_mem Ascy_platform Ascy_util Ascylib List Printf

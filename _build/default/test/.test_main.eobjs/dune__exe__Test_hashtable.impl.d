@@ -1,0 +1,1 @@
+test/test_hashtable.ml: Ascy_hashtable Conformance

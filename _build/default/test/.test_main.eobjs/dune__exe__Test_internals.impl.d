@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Ascy_hashtable Ascy_locks Ascy_mem Hashtbl List Printf QCheck QCheck_alcotest

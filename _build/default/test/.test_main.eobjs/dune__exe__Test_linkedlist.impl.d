@@ -1,0 +1,1 @@
+test/test_linkedlist.ml: Ascy_linkedlist Conformance

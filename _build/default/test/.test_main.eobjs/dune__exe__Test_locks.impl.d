@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Ascy_locks Ascy_mem Ascy_platform Domain List

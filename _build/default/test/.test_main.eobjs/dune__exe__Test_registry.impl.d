@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Ascy_core Ascy_mem Ascylib List Registry

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ascy_mem Ascy_platform List Printf

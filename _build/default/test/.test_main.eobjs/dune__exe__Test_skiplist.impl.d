@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Ascy_skiplist Conformance

@@ -1,0 +1,1 @@
+test/test_ssmem.ml: Alcotest Array Ascy_mem Ascy_platform Ascy_rcu Ascy_ssmem Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascy_util Bits Hashtbl Histogram List QCheck QCheck_alcotest Vec Xorshift

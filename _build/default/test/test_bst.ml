@@ -1,0 +1,15 @@
+(* Conformance suites for all eight BST algorithms. *)
+
+module B = Ascy_bst
+
+let suites =
+  [
+    ("bst-async-int", Conformance.suite ~concurrent:false "bst-async-int" (module B.Seq_int_bst.Make));
+    ("bst-async-ext", Conformance.suite ~concurrent:false "bst-async-ext" (module B.Seq_ext_bst.Make));
+    ("bst-tk", Conformance.suite "bst-tk" (module B.Bst_tk.Make));
+    ("bst-natarajan", Conformance.suite "bst-natarajan" (module B.Natarajan.Make));
+    ("bst-ellen", Conformance.suite "bst-ellen" (module B.Ellen.Make));
+    ("bst-howley", Conformance.suite "bst-howley" (module B.Howley.Make));
+    ("bst-bronson", Conformance.suite "bst-bronson" (module B.Bronson.Make));
+    ("bst-drachsler", Conformance.suite "bst-drachsler" (module B.Drachsler.Make));
+  ]

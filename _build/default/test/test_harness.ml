@@ -1,0 +1,180 @@
+(* Harness-level tests: workload mix, simulated-run determinism, and —
+   most importantly — that the ASCY patterns are *observable* in the
+   simulator's event streams, which is what the whole reproduction
+   hinges on. *)
+
+module W = Ascy_harness.Workload
+module R = Ascy_harness.Sim_run
+module P = Ascy_platform.Platform
+module E = Ascy_mem.Event
+
+let maker name = (Ascylib.Registry.by_name name).Ascylib.Registry.maker
+
+let run ?(latency = false) ?(updates = 10) ?(threads = 8) ?(initial = 128) ?(ops = 200) name =
+  let wl = W.make ~initial ~update_pct:updates () in
+  R.run ~latency (maker name) ~platform:P.xeon20 ~nthreads:threads ~workload:wl
+    ~ops_per_thread:ops ()
+
+let test_workload_mix () =
+  let wl = W.make ~initial:1024 ~update_pct:20 () in
+  let rng = Ascy_util.Xorshift.create 3 in
+  let upd = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match W.pick_op wl rng with
+    | W.Insert | W.Remove -> incr upd
+    | W.Search -> ()
+  done;
+  let pct = 100.0 *. float_of_int !upd /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "update mix ~20%% (got %.1f)" pct) true
+    (pct > 17.0 && pct < 23.0);
+  let k = W.pick_key wl rng in
+  Alcotest.(check bool) "keys in [1, 2N]" true (k >= 1 && k <= 2048)
+
+let test_determinism () =
+  let a = run ~latency:true "ll-lazy" and b = run ~latency:true "ll-lazy" in
+  Alcotest.(check (float 0.0)) "same seed, same throughput" a.R.throughput_mops b.R.throughput_mops;
+  Alcotest.(check int) "same makespan" a.R.stats.Ascy_mem.Sim.makespan_cycles
+    b.R.stats.Ascy_mem.Sim.makespan_cycles
+
+let test_seed_changes_schedule () =
+  let wl = W.make ~initial:128 ~update_pct:20 () in
+  let a = R.run ~seed:1 (maker "ll-lazy") ~platform:P.xeon20 ~nthreads:8 ~workload:wl ~ops_per_thread:200 () in
+  let b = R.run ~seed:2 (maker "ll-lazy") ~platform:P.xeon20 ~nthreads:8 ~workload:wl ~ops_per_thread:200 () in
+  Alcotest.(check bool) "different seeds, different makespan" true
+    (a.R.stats.Ascy_mem.Sim.makespan_cycles <> b.R.stats.Ascy_mem.Sim.makespan_cycles)
+
+let test_size_stays_near_initial () =
+  let r = run ~updates:40 ~initial:256 ~ops:400 "ht-clht-lb" in
+  Alcotest.(check bool)
+    (Printf.sprintf "size near initial (got %d)" r.R.final_size)
+    true
+    (r.R.final_size > 128 && r.R.final_size < 512)
+
+(* ASCY1: a read-only workload on an ASCY1 algorithm performs no atomic
+   operations and takes no locks; an anti-ASCY design (coupling) locks
+   on every hop. *)
+let test_ascy1_observable () =
+  let lazy_r = run ~updates:0 "ll-lazy" in
+  Alcotest.(check int) "lazy searches: no atomics" 0 lazy_r.R.stats.Ascy_mem.Sim.atomics;
+  Alcotest.(check int) "lazy searches: no locks" 0 lazy_r.R.stats.Ascy_mem.Sim.events.(E.lock);
+  let coup = run ~updates:0 "ll-coupling" in
+  Alcotest.(check bool) "coupling searches lock constantly" true
+    (coup.R.stats.Ascy_mem.Sim.events.(E.lock) > coup.R.ops)
+
+(* ASCY2: fraser restarts parses; fraser-opt keeps extra parses an order
+   of magnitude lower under the same contended workload. *)
+let test_ascy2_observable () =
+  let fr = run ~updates:40 ~threads:16 ~initial:64 ~ops:400 "sl-fraser" in
+  let fo = run ~updates:40 ~threads:16 ~initial:64 ~ops:400 "sl-fraser-opt" in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraser restarts (%d) > fraser-opt restarts (%d)"
+       fr.R.stats.Ascy_mem.Sim.events.(E.restart)
+       fo.R.stats.Ascy_mem.Sim.events.(E.restart))
+    true
+    (fr.R.stats.Ascy_mem.Sim.events.(E.restart) > fo.R.stats.Ascy_mem.Sim.events.(E.restart))
+
+(* ASCY3: with read-only failures, a doomed update costs about a search;
+   without, it pays locks.  Compare lock counts on a zero-success
+   workload (inserting keys that all exist). *)
+let test_ascy3_observable () =
+  let module A = (val maker "ht-lazy") in
+  let count_locks rof =
+    Ascy_mem.Sim.with_sim ~seed:5 ~platform:P.xeon20 ~nthreads:4 (fun sim ->
+        let module M = A (Ascy_mem.Sim.Mem) in
+        let t = M.create ~hint:64 ~read_only_fail:rof () in
+        for k = 1 to 64 do
+          ignore (M.insert t k 0)
+        done;
+        let body _ () =
+          for k = 1 to 64 do
+            assert (not (M.insert t k 1))
+          done
+        in
+        let makespan = Ascy_mem.Sim.run sim (Array.init 4 body) in
+        (Ascy_mem.Sim.stats sim ~makespan).Ascy_mem.Sim.events.(E.lock))
+  in
+  Alcotest.(check int) "ASCY3: failed inserts take no locks" 0 (count_locks true);
+  Alcotest.(check bool) "-no variant locks on every failed insert" true (count_locks false > 200)
+
+(* ASCY4: natarajan uses ~2 atomics per successful update, the helping
+   designs measurably more. *)
+let test_ascy4_observable () =
+  let nat = run ~updates:40 ~threads:8 ~initial:256 ~ops:300 "bst-natarajan" in
+  let ell = run ~updates:40 ~threads:8 ~initial:256 ~ops:300 "bst-ellen" in
+  let a_nat = R.atomics_per_update nat and a_ell = R.atomics_per_update ell in
+  Alcotest.(check bool)
+    (Printf.sprintf "natarajan %.2f < ellen %.2f atomics/update" a_nat a_ell)
+    true (a_nat < a_ell);
+  Alcotest.(check bool) "natarajan close to 2" true (a_nat < 3.0)
+
+(* Latency classes: with ASCY3, failed updates are cheaper than
+   successful ones. *)
+let test_failed_updates_cheaper () =
+  let r = run ~latency:true ~updates:40 ~threads:8 ~initial:256 ~ops:400 "ht-clht-lb" in
+  let ok = Ascy_util.Histogram.mean r.R.latencies.R.insert_ok in
+  let fail = Ascy_util.Histogram.mean r.R.latencies.R.insert_fail in
+  Alcotest.(check bool) (Printf.sprintf "fail %.0f < ok %.0f" fail ok) true (fail < ok)
+
+(* The asynchronized baseline beats (or matches) every correct algorithm
+   of its family — the paper's upper-bound methodology. *)
+let test_async_upper_bound () =
+  let async = run ~updates:10 ~threads:8 "ll-async" in
+  List.iter
+    (fun name ->
+      let r = run ~updates:10 ~threads:8 name in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%.2f) <= async (%.2f) * 1.1" name r.R.throughput_mops
+           async.R.throughput_mops)
+        true
+        (r.R.throughput_mops <= async.R.throughput_mops *. 1.1))
+    [ "ll-coupling"; "ll-lazy"; "ll-pugh"; "ll-harris"; "ll-harris-opt" ]
+
+(* Simulated transactions: commit applies writes; conflicts roll back. *)
+let test_txn_commit_and_abort () =
+  Ascy_mem.Sim.with_sim ~seed:9 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+      let module M = Ascy_mem.Sim.Mem in
+      let a = M.make_fresh 0 and b = M.make_fresh 0 in
+      let committed = ref 0 and aborted = ref 0 in
+      let body tid () =
+        if tid = 0 then begin
+          (* make the line "hot" in core 0's cache in modified state *)
+          M.set a 100;
+          M.work 50
+        end
+        else begin
+          M.work 5;
+          (* conflicting txn: reads a line owned by core 0 -> abort *)
+          (match M.txn (fun () -> M.set a (M.get a + 1)) with
+          | Some _ -> incr committed
+          | None -> incr aborted);
+          (* non-conflicting txn on a private line -> commit *)
+          match M.txn (fun () -> M.set b 42) with
+          | Some _ -> incr committed
+          | None -> incr aborted
+        end
+      in
+      ignore (Ascy_mem.Sim.run sim (Array.init 2 body));
+      Alcotest.(check int) "conflicting txn aborted" 1 !aborted;
+      Alcotest.(check int) "private txn committed" 1 !committed;
+      Alcotest.(check int) "aborted write rolled back" 100 (M.get a);
+      Alcotest.(check int) "committed write applied" 42 (M.get b))
+
+let test_native_txn_is_none () =
+  Alcotest.(check bool) "no HTM natively" true (Ascy_mem.Mem_native.txn (fun () -> 1) = None)
+
+let suite =
+  [
+    Alcotest.test_case "workload op mix" `Quick test_workload_mix;
+    Alcotest.test_case "sim_run determinism" `Quick test_determinism;
+    Alcotest.test_case "seed changes schedule" `Quick test_seed_changes_schedule;
+    Alcotest.test_case "size stays near initial" `Quick test_size_stays_near_initial;
+    Alcotest.test_case "ASCY1 observable (no stores in searches)" `Quick test_ascy1_observable;
+    Alcotest.test_case "ASCY2 observable (parse restarts)" `Quick test_ascy2_observable;
+    Alcotest.test_case "ASCY3 observable (read-only failures)" `Quick test_ascy3_observable;
+    Alcotest.test_case "ASCY4 observable (atomics per update)" `Quick test_ascy4_observable;
+    Alcotest.test_case "failed updates cheaper (latency classes)" `Quick test_failed_updates_cheaper;
+    Alcotest.test_case "async is the upper bound" `Quick test_async_upper_bound;
+    Alcotest.test_case "txn commit and abort" `Quick test_txn_commit_and_abort;
+    Alcotest.test_case "native txn unavailable" `Quick test_native_txn_is_none;
+  ]

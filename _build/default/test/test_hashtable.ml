@@ -1,0 +1,19 @@
+(* Conformance suites for all hash-table algorithms. *)
+
+module Ht = Ascy_hashtable
+
+let suites =
+  [
+    ("ht-async", Conformance.suite ~concurrent:false "ht-async" (module Ht.Makers.Seq));
+    ("ht-coupling", Conformance.suite "ht-coupling" (module Ht.Makers.Coupling));
+    ("ht-pugh", Conformance.suite "ht-pugh" (module Ht.Makers.Pugh));
+    ("ht-lazy", Conformance.suite "ht-lazy" (module Ht.Makers.Lazy));
+    ("ht-copy", Conformance.suite "ht-copy" (module Ht.Makers.Copy));
+    ("ht-harris", Conformance.suite "ht-harris" (module Ht.Makers.Harris));
+    ("ht-urcu", Conformance.suite "ht-urcu" (module Ht.Urcu_ht.Make));
+    ("ht-urcu-ssmem", Conformance.suite "ht-urcu-ssmem" (module Ht.Urcu_ht.Make_ssmem));
+    ("ht-java", Conformance.suite "ht-java" (module Ht.Java_ht.Make));
+    ("ht-tbb", Conformance.suite "ht-tbb" (module Ht.Tbb_ht.Make));
+    ("ht-clht-lb", Conformance.suite "ht-clht-lb" (module Ht.Clht_lb.Make));
+    ("ht-clht-lf", Conformance.suite "ht-clht-lf" (module Ht.Clht_lf.Make));
+  ]

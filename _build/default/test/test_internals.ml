@@ -1,0 +1,84 @@
+(* Property tests on the bit-twiddling internals: CLHT-LF's snapshot_t
+   word, the packed ticket-pair lock, and the hash mixer. *)
+
+module Clht = Ascy_hashtable.Clht_lf.Make (Ascy_mem.Mem_native)
+module Tp = Ascy_locks.Ticket_pair.Make (Ascy_mem.Mem_native)
+module Hash = Ascy_hashtable.Hash
+
+let prop_snapshot_state_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"clht-lf snapshot: with_state sets exactly one slot"
+    QCheck.(triple (int_bound 1000000) (int_bound 2) (int_bound 2))
+    (fun (word, slot, st) ->
+      let w' = Clht.with_state word slot st in
+      Clht.state_of w' slot = st
+      && List.for_all
+           (fun i -> i = slot || Clht.state_of w' i = Clht.state_of word i)
+           [ 0; 1; 2 ])
+
+let prop_snapshot_version_bumps =
+  QCheck.Test.make ~count:500 ~name:"clht-lf snapshot: every state change bumps the version"
+    QCheck.(triple (int_bound 1000000) (int_bound 2) (int_bound 2))
+    (fun (word, slot, st) ->
+      let w' = Clht.with_state word slot st in
+      w' lsr (2 * 3) = (word lsr (2 * 3)) + 1)
+
+let test_ticket_pair_pack_roundtrip () =
+  (* pack/unpack all four fields across the 15-bit range edges *)
+  List.iter
+    (fun (ln, lo, rn, ro) ->
+      let w = Tp.pack ln lo rn ro in
+      Alcotest.(check int) "l_next" ln (Tp.l_next w);
+      Alcotest.(check int) "l_now" lo (Tp.l_now w);
+      Alcotest.(check int) "r_next" rn (Tp.r_next w);
+      Alcotest.(check int) "r_now" ro (Tp.r_now w))
+    [
+      (0, 0, 0, 0);
+      (1, 2, 3, 4);
+      (32767, 32767, 32767, 32767);
+      (32767, 0, 0, 32767);
+      (12345, 23456, 7, 31000);
+    ]
+
+let prop_ticket_pair_pack =
+  QCheck.Test.make ~count:300 ~name:"ticket-pair pack/unpack roundtrip"
+    QCheck.(
+      quad (int_bound 32767) (int_bound 32767) (int_bound 32767) (int_bound 32767))
+    (fun (a, b, c, d) ->
+      let w = Tp.pack a b c d in
+      Tp.l_next w = a && Tp.l_now w = b && Tp.r_next w = c && Tp.r_now w = d)
+
+let prop_hash_in_range =
+  QCheck.Test.make ~count:500 ~name:"hash bucket always within mask"
+    QCheck.(pair int (int_bound 14))
+    (fun (k, bits) ->
+      let mask = (1 lsl (bits + 1)) - 1 in
+      let b = Hash.bucket k mask in
+      b >= 0 && b <= mask)
+
+let test_hash_spreads () =
+  (* sequential keys must not all collide *)
+  let mask = 255 in
+  let seen = Hashtbl.create 64 in
+  for k = 1 to 256 do
+    Hashtbl.replace seen (Hash.bucket k mask) ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "sequential keys spread over %d/256 buckets" (Hashtbl.length seen))
+    true
+    (Hashtbl.length seen > 128)
+
+let test_pow2 () =
+  Alcotest.(check int) "pow2 64" 64 (Hash.pow2_at_least 64 1);
+  Alcotest.(check int) "pow2 65 -> 128" 128 (Hash.pow2_at_least 65 1);
+  Alcotest.(check int) "pow2 1" 1 (Hash.pow2_at_least 1 1)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_snapshot_state_roundtrip;
+    QCheck_alcotest.to_alcotest prop_snapshot_version_bumps;
+    Alcotest.test_case "ticket-pair pack edges" `Quick test_ticket_pair_pack_roundtrip;
+    QCheck_alcotest.to_alcotest prop_ticket_pair_pack;
+    QCheck_alcotest.to_alcotest prop_hash_in_range;
+    Alcotest.test_case "hash spreads sequential keys" `Quick test_hash_spreads;
+    Alcotest.test_case "pow2_at_least" `Quick test_pow2;
+  ]

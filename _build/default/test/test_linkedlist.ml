@@ -1,0 +1,15 @@
+(* Conformance suites for all eight linked-list algorithms. *)
+
+module Ll = Ascy_linkedlist
+
+let suites =
+  [
+    ("ll-async", Conformance.suite ~concurrent:false "ll-async" (module Ll.Seq_list.Make));
+    ("ll-coupling", Conformance.suite "ll-coupling" (module Ll.Coupling.Make));
+    ("ll-pugh", Conformance.suite "ll-pugh" (module Ll.Pugh.Make));
+    ("ll-lazy", Conformance.suite "ll-lazy" (module Ll.Lazy_list.Make));
+    ("ll-copy", Conformance.suite "ll-copy" (module Ll.Copy_list.Make));
+    ("ll-harris", Conformance.suite "ll-harris" (module Ll.Harris.Make));
+    ("ll-michael", Conformance.suite "ll-michael" (module Ll.Michael.Make));
+    ("ll-harris-opt", Conformance.suite "ll-harris-opt" (module Ll.Harris_opt.Make));
+  ]

@@ -1,0 +1,254 @@
+(* Mutual-exclusion tests for every lock, executed inside the simulator
+   (deterministic adversarial schedules) and natively with domains. *)
+
+module Sim = Ascy_mem.Sim
+module SMem = Ascy_mem.Sim.Mem
+module P = Ascy_platform.Platform
+
+(* Generic exclusion check: [n] threads increment a plain (non-atomic)
+   cell under the lock; any mutual-exclusion violation loses updates. *)
+let sim_exclusion ~acquire ~release ~mk () =
+  Sim.with_sim ~seed:21 ~jitter:2 ~platform:P.xeon20 ~nthreads:6 (fun sim ->
+      let lock = mk () in
+      let cell = SMem.make_fresh 0 in
+      let per = 300 in
+      let body _ () =
+        for _ = 1 to per do
+          acquire lock;
+          let v = SMem.get cell in
+          SMem.work 5;
+          SMem.set cell (v + 1);
+          release lock
+        done
+      in
+      ignore (Sim.run sim (Array.init 6 body));
+      Alcotest.(check int) "no lost updates under lock" (6 * per) (SMem.get cell))
+
+module Ttas_s = Ascy_locks.Ttas.Make (SMem)
+module Ticket_s = Ascy_locks.Ticket.Make (SMem)
+module Rw_s = Ascy_locks.Rw_lock.Make (SMem)
+module Seq_s = Ascy_locks.Seqlock.Make (SMem)
+module Tp_s = Ascy_locks.Ticket_pair.Make (SMem)
+module Mcs_s = Ascy_locks.Mcs.Make (SMem)
+
+let test_ttas_exclusion =
+  sim_exclusion ~acquire:Ttas_s.acquire ~release:Ttas_s.release ~mk:Ttas_s.create_fresh
+
+let test_ticket_exclusion =
+  sim_exclusion ~acquire:Ticket_s.acquire ~release:Ticket_s.release ~mk:Ticket_s.create_fresh
+
+let test_rw_write_exclusion =
+  sim_exclusion ~acquire:Rw_s.write_acquire ~release:Rw_s.write_release ~mk:Rw_s.create_fresh
+
+let test_ttas_try () =
+  Sim.with_sim ~seed:2 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let body () =
+        let l = Ttas_s.create_fresh () in
+        assert (Ttas_s.try_acquire l);
+        assert (not (Ttas_s.try_acquire l));
+        Ttas_s.release l;
+        assert (Ttas_s.try_acquire l)
+      in
+      ignore (Sim.run sim [| body |]))
+
+let test_ticket_fifo () =
+  (* ticket lock must serve acquisitions in ticket order *)
+  Sim.with_sim ~seed:23 ~platform:P.xeon20 ~nthreads:4 (fun sim ->
+      let l = Ticket_s.create_fresh () in
+      let order = SMem.make_fresh [] in
+      let body tid () =
+        for _ = 1 to 50 do
+          Ticket_s.acquire l;
+          SMem.set order (tid :: SMem.get order);
+          Ticket_s.release l
+        done
+      in
+      ignore (Sim.run sim (Array.init 4 body));
+      Alcotest.(check int) "all sections ran" 200 (List.length (SMem.get order)))
+
+let test_ticket_versioning () =
+  Sim.with_sim ~seed:3 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let body () =
+        let l = Ticket_s.create_fresh () in
+        let v = Ticket_s.version l in
+        assert (Ticket_s.try_acquire_version l v);
+        (* stale version must fail while held and after release *)
+        assert (not (Ticket_s.try_acquire_version l v));
+        Ticket_s.release l;
+        assert (not (Ticket_s.try_acquire_version l v));
+        let v' = Ticket_s.version l in
+        assert (v' = v + 1);
+        assert (Ticket_s.try_acquire_version l v');
+        Ticket_s.release l
+      in
+      ignore (Sim.run sim [| body |]))
+
+let test_rw_readers_parallel_writer_excluded () =
+  Sim.with_sim ~seed:31 ~jitter:1 ~platform:P.xeon20 ~nthreads:5 (fun sim ->
+      let l = Rw_s.create_fresh () in
+      let data = SMem.make_fresh 0 in
+      let bad = SMem.make_fresh 0 in
+      let body tid () =
+        if tid = 0 then
+          for _ = 1 to 100 do
+            Rw_s.write_acquire l;
+            SMem.set data 1;
+            SMem.work 10;
+            SMem.set data 0;
+            Rw_s.write_release l
+          done
+        else
+          for _ = 1 to 100 do
+            Rw_s.read_acquire l;
+            if SMem.get data <> 0 then SMem.set bad 1;
+            Rw_s.read_release l
+          done
+      in
+      ignore (Sim.run sim (Array.init 5 body));
+      Alcotest.(check int) "readers never observe writer mid-flight" 0 (SMem.get bad))
+
+let test_seqlock_consistent_reads () =
+  Sim.with_sim ~seed:37 ~jitter:2 ~platform:P.xeon20 ~nthreads:4 (fun sim ->
+      let l = Seq_s.create_fresh () in
+      let a = SMem.make_fresh 0 and b = SMem.make_fresh 0 in
+      let bad = SMem.make_fresh 0 in
+      let body tid () =
+        if tid = 0 then
+          for i = 1 to 200 do
+            ignore (Seq_s.write_acquire l);
+            SMem.set a i;
+            SMem.work 8;
+            SMem.set b i;
+            Seq_s.write_release l
+          done
+        else
+          for _ = 1 to 200 do
+            let x, y = Seq_s.read l (fun () -> (SMem.get a, SMem.get b)) in
+            if x <> y then SMem.set bad 1
+          done
+      in
+      ignore (Sim.run sim (Array.init 4 body));
+      Alcotest.(check int) "seqlock reads are atomic" 0 (SMem.get bad))
+
+(* MCS queue lock: exclusion + FIFO handoff under adversarial schedules. *)
+let test_mcs_exclusion () =
+  Sim.with_sim ~seed:27 ~jitter:2 ~platform:P.xeon20 ~nthreads:6 (fun sim ->
+      let lock = Mcs_s.create_fresh () in
+      let cell = SMem.make_fresh 0 in
+      let per = 250 in
+      let body _ () =
+        for _ = 1 to per do
+          let h = Mcs_s.acquire lock in
+          let v = SMem.get cell in
+          SMem.work 5;
+          SMem.set cell (v + 1);
+          Mcs_s.release lock h
+        done
+      in
+      ignore (Sim.run sim (Array.init 6 body));
+      Alcotest.(check int) "no lost updates under MCS" (6 * per) (SMem.get cell))
+
+let test_mcs_uncontended () =
+  Sim.with_sim ~seed:28 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let body () =
+        let lock = Mcs_s.create_fresh () in
+        let h = Mcs_s.acquire lock in
+        Mcs_s.release lock h;
+        let h2 = Mcs_s.acquire lock in
+        Mcs_s.release lock h2
+      in
+      ignore (Sim.run sim [| body |]);
+      Alcotest.(check pass) "uncontended acquire/release cycles" () ())
+
+(* The packed two-edge ticket lock used by BST-TK. *)
+let test_ticket_pair_semantics () =
+  Sim.with_sim ~seed:4 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let body () =
+        let l = Tp_s.create_fresh () in
+        let vl, vr = Tp_s.versions l in
+        assert (vl = 0 && vr = 0);
+        (* sides are independent *)
+        assert (Tp_s.try_acquire_version l Tp_s.L vl);
+        assert (Tp_s.is_locked l Tp_s.L);
+        assert (not (Tp_s.is_locked l Tp_s.R));
+        assert (Tp_s.try_acquire_version l Tp_s.R vr);
+        (* stale versions fail while held *)
+        assert (not (Tp_s.try_acquire_version l Tp_s.L vl));
+        Tp_s.release l Tp_s.L;
+        Tp_s.release l Tp_s.R;
+        (* versions bumped: old versions now stale *)
+        assert (not (Tp_s.try_acquire_version l Tp_s.L 0));
+        let vl, vr = Tp_s.versions l in
+        assert (vl = 1 && vr = 1);
+        (* acquire both with one CAS *)
+        assert (Tp_s.try_acquire_both l vl vr);
+        assert (Tp_s.is_locked l Tp_s.L && Tp_s.is_locked l Tp_s.R);
+        (* acquire-both fails when anything is held *)
+        assert (not (Tp_s.try_acquire_both l vl vr))
+      in
+      ignore (Sim.run sim [| body |]))
+
+let test_ticket_pair_exclusion () =
+  Sim.with_sim ~seed:25 ~jitter:2 ~platform:P.xeon20 ~nthreads:6 (fun sim ->
+      let l = Tp_s.create_fresh () in
+      let cell = SMem.make_fresh 0 in
+      let per = 200 in
+      let body _ () =
+        for _ = 1 to per do
+          let rec acquire () =
+            let vl, vr = Tp_s.versions l in
+            if not (Tp_s.try_acquire_both l vl vr) then begin
+              SMem.cpu_relax ();
+              acquire ()
+            end
+          in
+          acquire ();
+          let v = SMem.get cell in
+          SMem.work 4;
+          SMem.set cell (v + 1);
+          Tp_s.release l Tp_s.L;
+          Tp_s.release l Tp_s.R
+        done
+      in
+      ignore (Sim.run sim (Array.init 6 body));
+      Alcotest.(check int) "no lost updates under pair lock" (6 * per) (SMem.get cell))
+
+(* Native (real domains) exclusion for the two workhorse locks. *)
+module Ttas_n = Ascy_locks.Ttas.Make (Ascy_mem.Mem_native)
+module Ticket_n = Ascy_locks.Ticket.Make (Ascy_mem.Mem_native)
+
+let native_exclusion acquire release mk () =
+  let lock = mk () in
+  let counter = ref 0 in
+  let per = 20_000 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              acquire lock;
+              counter := !counter + 1;
+              release lock
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "native exclusion" (4 * per) !counter
+
+let suite =
+  [
+    Alcotest.test_case "ttas exclusion (sim)" `Quick test_ttas_exclusion;
+    Alcotest.test_case "ticket exclusion (sim)" `Quick test_ticket_exclusion;
+    Alcotest.test_case "rwlock write exclusion (sim)" `Quick test_rw_write_exclusion;
+    Alcotest.test_case "ttas try_acquire" `Quick test_ttas_try;
+    Alcotest.test_case "ticket completes all sections" `Quick test_ticket_fifo;
+    Alcotest.test_case "ticket versioned acquire" `Quick test_ticket_versioning;
+    Alcotest.test_case "rwlock readers vs writer" `Quick test_rw_readers_parallel_writer_excluded;
+    Alcotest.test_case "seqlock consistent reads" `Quick test_seqlock_consistent_reads;
+    Alcotest.test_case "mcs exclusion (sim)" `Quick test_mcs_exclusion;
+    Alcotest.test_case "mcs uncontended" `Quick test_mcs_uncontended;
+    Alcotest.test_case "ticket-pair semantics" `Quick test_ticket_pair_semantics;
+    Alcotest.test_case "ticket-pair exclusion (sim)" `Quick test_ticket_pair_exclusion;
+    Alcotest.test_case "ttas exclusion (domains)" `Slow
+      (native_exclusion Ttas_n.acquire Ttas_n.release Ttas_n.create_fresh);
+    Alcotest.test_case "ticket exclusion (domains)" `Slow
+      (native_exclusion Ticket_n.acquire Ticket_n.release Ticket_n.create_fresh);
+  ]

@@ -1,0 +1,12 @@
+let () =
+  let suites =
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("locks", Test_locks.suite);
+      ("ssmem+rcu", Test_ssmem.suite);
+    ]
+    @ Test_linkedlist.suites @ Test_hashtable.suites @ Test_skiplist.suites @ Test_bst.suites
+    @ [ ("registry", Test_registry.suite); ("harness", Test_harness.suite); ("internals", Test_internals.suite) ]
+  in
+  Alcotest.run "ascylib" suites

@@ -1,0 +1,56 @@
+(* Registry sanity: the catalogue is complete, names are unique, every
+   maker instantiates and works natively. *)
+
+open Ascylib
+
+let test_counts () =
+  Alcotest.(check int) "33 implementations" 33 (List.length Registry.all);
+  Alcotest.(check int) "8 linked lists" 8 (List.length (Registry.by_family Ascy_core.Ascy.Linked_list));
+  Alcotest.(check int) "12 hash tables" 12 (List.length (Registry.by_family Ascy_core.Ascy.Hash_table));
+  Alcotest.(check int) "5 skip lists" 5 (List.length (Registry.by_family Ascy_core.Ascy.Skip_list));
+  Alcotest.(check int) "8 BSTs" 8 (List.length (Registry.by_family Ascy_core.Ascy.Bst))
+
+let test_unique_names () =
+  let names = List.map (fun (x : Registry.entry) -> x.Registry.name) Registry.all in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_by_name () =
+  List.iter
+    (fun (x : Registry.entry) ->
+      Alcotest.(check string) "roundtrip" x.Registry.name (Registry.by_name x.Registry.name).Registry.name)
+    Registry.all;
+  Alcotest.check_raises "unknown name rejected" (Invalid_argument "unknown algorithm: nope")
+    (fun () -> ignore (Registry.by_name "nope"))
+
+let test_every_maker_works () =
+  List.iter
+    (fun (x : Registry.entry) ->
+      let module A = (val x.Registry.maker) in
+      let module M = A (Ascy_mem.Mem_native) in
+      let t = M.create ~hint:64 () in
+      assert (M.insert t 7 "seven");
+      assert (M.search t 7 = Some "seven");
+      assert (M.remove t 7);
+      assert (M.search t 7 = None);
+      match M.validate t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: validate: %s" x.Registry.name e)
+    Registry.all
+
+let test_async_flags () =
+  let asyncs = List.filter (fun (x : Registry.entry) -> x.Registry.asynchronized) Registry.all in
+  Alcotest.(check int) "5 asynchronized baselines" 5 (List.length asyncs);
+  List.iter
+    (fun (x : Registry.entry) ->
+      Alcotest.(check bool) "async is sequential" true (x.Registry.sync = Ascy_core.Ascy.Sequential))
+    asyncs
+
+let suite =
+  [
+    Alcotest.test_case "family counts" `Quick test_counts;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "by_name roundtrip" `Quick test_by_name;
+    Alcotest.test_case "every maker instantiates and works" `Quick test_every_maker_works;
+    Alcotest.test_case "asynchronized flags" `Quick test_async_flags;
+  ]

@@ -1,0 +1,141 @@
+(* Tests of the discrete-event multicore simulator: coherence accounting,
+   determinism, atomicity of simulated RMWs, and topology-sensitive
+   costs. *)
+
+module Sim = Ascy_mem.Sim
+module Mem = Ascy_mem.Sim.Mem
+module P = Ascy_platform.Platform
+
+let run_counter ~platform ~nthreads ~increments =
+  Sim.with_sim ~seed:11 ~platform ~nthreads (fun sim ->
+      let c = Mem.make_fresh 0 in
+      let body _ () =
+        for _ = 1 to increments do
+          let rec cas_incr () =
+            let v = Mem.get c in
+            if not (Mem.cas c v (v + 1)) then cas_incr ()
+          in
+          cas_incr ()
+        done
+      in
+      let makespan = Sim.run sim (Array.init nthreads body) in
+      (Mem.get c, makespan, Sim.stats sim ~makespan))
+
+let test_atomic_counter () =
+  let v, _, _ = run_counter ~platform:P.xeon20 ~nthreads:8 ~increments:500 in
+  Alcotest.(check int) "no lost updates" 4000 v
+
+let test_determinism () =
+  let _, m1, _ = run_counter ~platform:P.xeon20 ~nthreads:4 ~increments:200 in
+  let _, m2, _ = run_counter ~platform:P.xeon20 ~nthreads:4 ~increments:200 in
+  Alcotest.(check int) "same seed, same makespan" m1 m2
+
+let test_contention_slows_down () =
+  let _, m1, _ = run_counter ~platform:P.xeon20 ~nthreads:1 ~increments:1000 in
+  let _, m8, _ = run_counter ~platform:P.xeon20 ~nthreads:8 ~increments:1000 in
+  (* contended CAS loop must cost more per op than uncontended *)
+  Alcotest.(check bool) "contention increases makespan" true (m8 > m1 * 2)
+
+let test_private_reads_are_cheap () =
+  Sim.with_sim ~seed:3 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let r = Mem.make_fresh 0 in
+      let body () = for _ = 1 to 1000 do ignore (Mem.get r) done in
+      let makespan = Sim.run sim [| body |] in
+      let st = Sim.stats sim ~makespan in
+      Alcotest.(check bool) "almost all hits" true (st.Sim.hits_l1 >= 999);
+      Alcotest.(check bool)
+        "cheap per-access cost" true
+        (makespan < 1000 * (P.xeon20.P.c_l1 + P.xeon20.P.c_instr + 3)))
+
+let test_sharing_costs_transfers () =
+  (* two threads ping-ponging writes on one line must generate transfers *)
+  Sim.with_sim ~seed:5 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+      let r = Mem.make_fresh 0 in
+      let body _ () = for _ = 1 to 500 do Mem.set r 1 done in
+      let makespan = Sim.run sim (Array.init 2 body) in
+      let st = Sim.stats sim ~makespan in
+      Alcotest.(check bool) "many line transfers" true (st.Sim.transfers_local > 300))
+
+let test_remote_socket_costlier () =
+  (* threads 0 and 1 on Xeon20 share a socket (cores 0,1); a line
+     ping-ponged between sockets costs more. *)
+  let makespan_for pair =
+    Sim.with_sim ~seed:7 ~platform:P.xeon20 ~nthreads:20 (fun sim ->
+        let r = Mem.make_fresh 0 in
+        let body tid () =
+          if List.mem tid pair then for _ = 1 to 300 do Mem.set r 1 done
+        in
+        Sim.run sim (Array.init 20 body))
+  in
+  (* same socket: cores 0 and 1; cross socket: cores 0 and 10 *)
+  let local = makespan_for [ 0; 1 ] and remote = makespan_for [ 0; 10 ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "cross-socket (%d) dearer than in-socket (%d)" remote local)
+    true (remote > local)
+
+let test_line_grouping_false_sharing () =
+  (* two cells on the SAME line contend even though they are distinct *)
+  let makespan shared =
+    Sim.with_sim ~seed:9 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+        let line = Mem.new_line () in
+        let a = if shared then Mem.make line 0 else Mem.make_fresh 0 in
+        let b = if shared then Mem.make line 0 else Mem.make_fresh 0 in
+        let body tid () =
+          let r = if tid = 0 then a else b in
+          for _ = 1 to 500 do
+            Mem.set r 1
+          done
+        in
+        Sim.run sim (Array.init 2 body))
+  in
+  Alcotest.(check bool)
+    "false sharing is slower" true
+    (makespan true > makespan false * 3 / 2)
+
+let test_smt_scaling_t44 () =
+  (* on the T4-4, 8 threads land on 8 distinct cores; with 8x SMT they
+     would share.  Verify co-located threads run slower per-thread. *)
+  let tput nthreads =
+    Sim.with_sim ~seed:13 ~platform:P.t44 ~nthreads (fun sim ->
+        let body _ () =
+          let r = Mem.make_fresh 0 in
+          for _ = 1 to 500 do
+            Mem.set r 1
+          done
+        in
+        let makespan = Sim.run sim (Array.init nthreads body) in
+        float_of_int (nthreads * 500) /. float_of_int makespan)
+  in
+  let t32 = tput 32 (* one thread per core *) in
+  let t256 = tput 256 (* eight threads per core *) in
+  Alcotest.(check bool) "smt gives sublinear scaling" true (t256 /. t32 < 6.0);
+  Alcotest.(check bool) "smt still helps in aggregate" true (t256 > t32)
+
+let test_work_charges_cycles () =
+  Sim.with_sim ~seed:15 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let body () = Mem.work 12345 in
+      let makespan = Sim.run sim [| body |] in
+      Alcotest.(check bool) "work charged" true (makespan >= 12345))
+
+let test_thread_failure_propagates () =
+  Alcotest.check_raises "failure surfaces as Thread_failure" (Failure "boom")
+    (fun () ->
+      try
+        Sim.with_sim ~seed:1 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+            let body tid () = if tid = 1 then failwith "boom" in
+            ignore (Sim.run sim (Array.init 2 body)))
+      with Sim.Thread_failure (_, e, _) -> raise e)
+
+let suite =
+  [
+    Alcotest.test_case "simulated CAS counter is atomic" `Quick test_atomic_counter;
+    Alcotest.test_case "simulation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "contention slows the counter" `Quick test_contention_slows_down;
+    Alcotest.test_case "private reads hit L1" `Quick test_private_reads_are_cheap;
+    Alcotest.test_case "write sharing generates transfers" `Quick test_sharing_costs_transfers;
+    Alcotest.test_case "cross-socket transfers cost more" `Quick test_remote_socket_costlier;
+    Alcotest.test_case "false sharing on one line" `Quick test_line_grouping_false_sharing;
+    Alcotest.test_case "SMT issue sharing on T4-4" `Quick test_smt_scaling_t44;
+    Alcotest.test_case "work() advances the clock" `Quick test_work_charges_cycles;
+    Alcotest.test_case "thread exceptions propagate" `Quick test_thread_failure_propagates;
+  ]

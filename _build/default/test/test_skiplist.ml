@@ -1,0 +1,12 @@
+(* Conformance suites for all five skip-list algorithms. *)
+
+module Sl = Ascy_skiplist
+
+let suites =
+  [
+    ("sl-async", Conformance.suite ~concurrent:false "sl-async" (module Sl.Seq_sl.Make));
+    ("sl-pugh", Conformance.suite "sl-pugh" (module Sl.Pugh_sl.Make));
+    ("sl-herlihy", Conformance.suite "sl-herlihy" (module Sl.Herlihy_sl.Make));
+    ("sl-fraser", Conformance.suite "sl-fraser" (module Sl.Fraser.Make));
+    ("sl-fraser-opt", Conformance.suite "sl-fraser-opt" (module Sl.Fraser_opt.Make));
+  ]

@@ -1,0 +1,103 @@
+(* Unit + property tests for the ascy_util substrate. *)
+
+open Ascy_util
+
+let test_xorshift_determinism () =
+  let a = Xorshift.create 5 and b = Xorshift.create 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same seed, same stream" (Xorshift.next a) (Xorshift.next b)
+  done
+
+let test_xorshift_range () =
+  let r = Xorshift.create 9 in
+  for _ = 1 to 1000 do
+    let x = Xorshift.below r 17 in
+    Alcotest.(check bool) "below in range" true (x >= 0 && x < 17)
+  done
+
+let test_vec_push_get () =
+  let v = Vec.create 0 in
+  for i = 0 to 999 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "get 37" (37 * 37) (Vec.get v 37);
+  Vec.set v 5 42;
+  Alcotest.(check int) "set/get" 42 (Vec.get v 5)
+
+let test_vec_sort () =
+  let v = Vec.create 0 in
+  List.iter (Vec.push v) [ 5; 1; 4; 2; 3 ];
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Array.to_list (Vec.to_array v))
+
+let test_bits_basic () =
+  let b = Bits.create 100 in
+  Bits.add b 0;
+  Bits.add b 63;
+  Bits.add b 64;
+  Bits.add b 99;
+  Alcotest.(check bool) "mem 63" true (Bits.mem b 63);
+  Alcotest.(check bool) "mem 64" true (Bits.mem b 64);
+  Alcotest.(check bool) "not mem 1" false (Bits.mem b 1);
+  Alcotest.(check int) "cardinal" 4 (Bits.cardinal b);
+  Bits.remove b 63;
+  Alcotest.(check bool) "removed" false (Bits.mem b 63);
+  Alcotest.(check int) "choose smallest" 0 (Bits.choose b);
+  Bits.clear b;
+  Alcotest.(check bool) "empty after clear" true (Bits.is_empty b)
+
+let prop_bits_model =
+  QCheck.Test.make ~count:200 ~name:"bitset agrees with a list model"
+    QCheck.(list (pair bool (int_bound 199)))
+    (fun ops ->
+      let b = Ascy_util.Bits.create 200 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Ascy_util.Bits.add b i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Ascy_util.Bits.remove b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Ascy_util.Bits.cardinal b = Hashtbl.length model
+      && Hashtbl.fold (fun i () acc -> acc && Ascy_util.Bits.mem b i) model true)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check (float 0.001)) "p50" 50.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.001)) "p99" 99.0 (Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.001)) "p1" 1.0 (Histogram.percentile h 1.0);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Histogram.mean h)
+
+let prop_histogram_bounds =
+  QCheck.Test.make ~count:100 ~name:"percentiles are within sample bounds"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Ascy_util.Histogram.create () in
+      List.iter (Ascy_util.Histogram.add h) xs;
+      let lo = List.fold_left min infinity xs and hi = List.fold_left max neg_infinity xs in
+      List.for_all
+        (fun p ->
+          let v = Ascy_util.Histogram.percentile h p in
+          v >= lo && v <= hi)
+        [ 1.0; 25.0; 50.0; 75.0; 99.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "xorshift determinism" `Quick test_xorshift_determinism;
+    Alcotest.test_case "xorshift range" `Quick test_xorshift_range;
+    Alcotest.test_case "vec push/get/set" `Quick test_vec_push_get;
+    Alcotest.test_case "vec sort" `Quick test_vec_sort;
+    Alcotest.test_case "bits basic" `Quick test_bits_basic;
+    QCheck_alcotest.to_alcotest prop_bits_model;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    QCheck_alcotest.to_alcotest prop_histogram_bounds;
+  ]
