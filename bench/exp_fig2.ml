@@ -11,6 +11,7 @@ open Ascylib
 module W = Ascy_harness.Workload
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let families =
   [
@@ -43,9 +44,10 @@ let sweep family title =
           List.map
             (fun n ->
               let r =
-                R.run x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
                   ~ops_per_thread:Bench_config.ops_per_thread ()
               in
+              Res.record_sim ~label:"sweep-avg-contention" r;
               r.R.throughput_mops)
             threads
         in
@@ -68,9 +70,10 @@ let contention family title ~initial ~update_pct label =
              (fun p ->
                let nthreads = min Bench_config.base_threads (Ascy_platform.Platform.hw_threads p) in
                let r =
-                 R.run x.Registry.maker ~platform:p ~nthreads ~workload:wl
+                 R.run ~latency:true x.Registry.maker ~platform:p ~nthreads ~workload:wl
                    ~ops_per_thread:Bench_config.ops_per_thread ()
                in
+               Res.record_sim ~label:(label ^ "-contention") r;
                Rep.f2 r.R.throughput_mops)
              Bench_config.platforms)
       (entries family)

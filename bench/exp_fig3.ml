@@ -8,6 +8,7 @@ open Ascylib
 module W = Ascy_harness.Workload
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let run () =
   Bench_config.section "Figure 3 — cache misses/op vs scalability (linked lists)";
@@ -24,6 +25,8 @@ let run () =
           R.run x.Registry.maker ~platform ~nthreads:20 ~workload:wl
             ~ops_per_thread:Bench_config.ops_per_thread ()
         in
+        Res.record_sim ~label:"baseline-1thr" r1;
+        Res.record_sim ~label:"contended-20thr" r20;
         let scal =
           if r1.R.throughput_mops > 0.0 then r20.R.throughput_mops /. r1.R.throughput_mops else 0.0
         in

@@ -10,6 +10,7 @@ module W = Ascy_harness.Workload
 module H = Ascy_util.Histogram
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let algos =
   [ "ll-async"; "ll-lazy"; "ll-pugh"; "ll-copy"; "ll-harris"; "ll-michael"; "ll-harris-opt" ]
@@ -26,8 +27,12 @@ let run () =
         let sweep =
           List.map
             (fun n ->
-              R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
-                ~ops_per_thread:Bench_config.ops_per_thread ())
+              let r =
+                R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                  ~ops_per_thread:Bench_config.ops_per_thread ()
+              in
+              Res.record_sim ~label:"sweep" r;
+              r)
             threads
         in
         (name, sweep))

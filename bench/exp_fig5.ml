@@ -9,6 +9,7 @@ module W = Ascy_harness.Workload
 module H = Ascy_util.Histogram
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let algos = [ "sl-async"; "sl-pugh"; "sl-herlihy"; "sl-fraser"; "sl-fraser-opt" ]
 
@@ -24,8 +25,12 @@ let run () =
         ( name,
           List.map
             (fun n ->
-              R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
-                ~ops_per_thread:Bench_config.ops_per_thread ())
+              let r =
+                R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                  ~ops_per_thread:Bench_config.ops_per_thread ()
+              in
+              Res.record_sim ~label:"sweep" r;
+              r)
             threads ))
       algos
   in

@@ -9,6 +9,7 @@ module W = Ascy_harness.Workload
 module H = Ascy_util.Histogram
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let algos = [ "ht-lazy"; "ht-pugh"; "ht-copy"; "ht-java" ]
 
@@ -48,6 +49,9 @@ let run () =
       R.run ~latency:true maker ~platform ~nthreads ~workload:wl
         ~ops_per_thread:Bench_config.ops_per_thread ()
     in
+    (* [label] keeps the "-no" (read_only_fail=false) variants apart: the
+       serialized algorithm name is the underlying implementation's *)
+    Res.record_sim ~label:name r;
     [
       name;
       Rep.f2 r.R.throughput_mops;

@@ -7,6 +7,7 @@ open Ascylib
 module W = Ascy_harness.Workload
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let algos = [ "bst-natarajan"; "bst-tk" ]
 let rates = [ 0; 1; 10; 20; 100 ]
@@ -33,6 +34,8 @@ let run () =
                      R.run x.Registry.maker ~platform:p ~nthreads ~workload:wl
                        ~ops_per_thread:Bench_config.ops_per_thread ()
                    in
+                   Res.record_sim ~label:(Printf.sprintf "%d%%upd" rate) r1;
+                   Res.record_sim ~label:(Printf.sprintf "%d%%upd" rate) r;
                    [
                      Rep.f2 r.R.throughput_mops;
                      (if r1.R.throughput_mops > 0.0 then

@@ -9,6 +9,7 @@ open Ascylib
 module W = Ascy_harness.Workload
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let clht = Registry.by_name "ht-clht-lb"
 
@@ -29,6 +30,8 @@ let run () =
       (fun rate ->
         let plain = run_one ~htm:false ~rate ~nthreads in
         let elided = run_one ~htm:true ~rate ~nthreads in
+        Res.record_sim ~label:(Printf.sprintf "lock/%d%%upd" rate) plain;
+        Res.record_sim ~label:(Printf.sprintf "htm-elided/%d%%upd" rate) elided;
         [
           Printf.sprintf "%d%%" rate;
           Rep.f2 plain.R.throughput_mops;

@@ -16,6 +16,8 @@ module R = Ascy_harness.Sim_run
 module Sim = Ascy_mem.Sim
 module P = Ascy_platform.Platform
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
+module J = Ascy_util.Json
 
 let algos = [ "ht-async"; "ht-clht-lb"; "ht-pugh"; "ht-java"; "ht-tbb" ]
 
@@ -81,6 +83,21 @@ let run () =
       (fun name ->
         let skew_tput, _ = run_custom name ~nthreads:20 ~initial:4096 ~body_gen:skewed in
         let grow_tput, final = run_custom name ~nthreads:20 ~initial:4096 ~body_gen:growth in
+        (* custom drivers bypass Sim_run, so serialize a reduced record *)
+        List.iter
+          (fun (label, tput, size) ->
+            Res.record
+              (J.Obj
+                 [
+                   ("label", J.String label);
+                   ("kind", J.String "custom");
+                   ("algorithm", J.String name);
+                   ("platform", J.String P.xeon20.P.name);
+                   ("nthreads", J.Int 20);
+                   ("throughput_mops", J.Float tput);
+                   ("final_size", match size with Some s -> J.Int s | None -> J.Null);
+                 ]))
+          [ ("skewed-80/20", skew_tput, None); ("growing", grow_tput, Some final) ];
         [ name; Rep.f2 skew_tput; Rep.f2 grow_tput; string_of_int final ])
       algos
   in

@@ -9,6 +9,7 @@ open Ascylib
 module W = Ascy_harness.Workload
 module R = Ascy_harness.Sim_run
 module Rep = Ascy_harness.Report
+module Res = Ascy_harness.Results
 
 let run () =
   Bench_config.section "Ablation — SSMEM GC threshold (Tilera model, ll-lazy, 50% updates)";
@@ -25,6 +26,7 @@ let run () =
               R.run entry.Registry.maker ~platform:Ascy_platform.Platform.tilera ~nthreads:20
                 ~workload:wl ~ops_per_thread:(4 * Bench_config.ops_per_thread) ())
         in
+        Res.record_sim ~label:(Printf.sprintf "gc-threshold-%d" threshold) r;
         [
           string_of_int threshold;
           Rep.f2 r.R.throughput_mops;

@@ -4,7 +4,14 @@
    DESIGN.md's experiment index).  Simulated experiments run on the
    modeled platforms; the Bechamel suite measures real native
    per-operation cost.  ASCY_BENCH_MODE=quick|default|full scales the
-   sweeps; ASCY_BENCH_ONLY=fig4 (comma-separated) selects experiments. *)
+   sweeps; ASCY_BENCH_ONLY=fig4 (comma-separated) selects experiments.
+
+   Next to each experiment's text tables, a structured record of every
+   run is written to BENCH_<exp>.json (see Ascy_harness.Results for the
+   schema; ASCY_BENCH_OUT overrides the output directory). *)
+
+module Results = Ascy_harness.Results
+module J = Ascy_util.Json
 
 let experiments =
   [
@@ -23,6 +30,12 @@ let experiments =
     ("nonuniform", Exp_nonuniform.run);
   ]
 
+let mode_name =
+  match Bench_config.mode with
+  | Bench_config.Quick -> "quick"
+  | Bench_config.Default -> "default"
+  | Bench_config.Full -> "full"
+
 let () =
   let only =
     match Sys.getenv_opt "ASCY_BENCH_ONLY" with
@@ -36,7 +49,7 @@ let () =
       | Some names when not (List.mem name names) -> ()
       | _ ->
           let t = Unix.gettimeofday () in
-          f ();
+          Results.with_sink ~meta:[ ("mode", J.String mode_name) ] name f;
           Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
     experiments;
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

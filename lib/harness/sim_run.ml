@@ -30,6 +30,9 @@ type result = {
   algorithm : string;
   platform : string;
   nthreads : int;
+  seed : int;
+  ops_per_thread : int;
+  workload : Workload.t;
   ops : int;
   updates_attempted : int;
   updates_successful : int;
@@ -40,62 +43,88 @@ type result = {
   final_size : int;
 }
 
-(** [run ?seed ?latency (module A) ~platform ~nthreads ~workload
-    ~ops_per_thread] executes the workload deterministically on the
-    simulated machine and returns every metric of one experiment point.
-    [latency = true] records a per-operation latency sample (ns). *)
-let run ?(seed = 1) ?(latency = false) (module A : Ascy_core.Set_intf.MAKER) ~platform ~nthreads
-    ~(workload : Workload.t) ~ops_per_thread () =
+(* Trace op codes used with Sim.Trace.op_start/op_end. *)
+let op_code = function Workload.Search -> 0 | Workload.Insert -> 1 | Workload.Remove -> 2
+let op_name = function 0 -> "search" | 1 -> "insert" | 2 -> "remove" | c -> string_of_int c
+
+(** [run ?seed ?latency ?history ?trace_capacity (module A) ~platform
+    ~nthreads ~workload ~ops_per_thread] executes the workload
+    deterministically on the simulated machine and returns every metric
+    of one experiment point.  [latency = true] records a per-operation
+    latency sample (ns).  [history] records every operation's
+    invocation/response cycle stamps and result for linearizability
+    checking ({!History.check}); prefilled keys are registered as the
+    history's initial state.  [trace_capacity] enables the simulator's
+    per-thread trace rings ({!Ascy_mem.Sim.Trace}). *)
+let run ?(seed = 1) ?(latency = false) ?history ?trace_capacity
+    (module A : Ascy_core.Set_intf.MAKER) ~platform ~nthreads ~(workload : Workload.t)
+    ~ops_per_thread () =
   let module M = A (Sim.Mem) in
-  Sim.with_sim ~seed ~platform ~nthreads (fun sim ->
+  Sim.with_sim ~seed ?trace_capacity ~platform ~nthreads (fun sim ->
       (* build + prefill happen outside simulated time *)
       let t = M.create ~hint:workload.Workload.initial () in
       let rng0 = Ascy_util.Xorshift.create (seed * 31 + 7) in
       let filled = ref 0 in
       while !filled < workload.Workload.initial do
-        if M.insert t (Workload.pick_key workload rng0) 0 then incr filled
+        let k = Workload.pick_key workload rng0 in
+        if M.insert t k 0 then begin
+          incr filled;
+          match history with Some h -> History.add_initial h k | None -> ()
+        end
       done;
       Sim.warm sim;
       let lat = fresh_latencies () in
       let upd_att = Array.make nthreads 0 in
       let upd_ok = Array.make nthreads 0 in
       let ghz = platform.P.ghz in
+      let timed = latency || history <> None in
       let body tid () =
         let rng = Ascy_util.Xorshift.create ((seed * 7919) + (tid * 104729) + 13) in
         for _ = 1 to ops_per_thread do
           let k = Workload.pick_key workload rng in
           let op = Workload.pick_op workload rng in
-          if latency then begin
-            let t0 = Sim.now () in
-            let record h =
-              let cycles = Sim.now () - t0 in
-              H.add h (float_of_int cycles /. ghz)
-            in
+          Sim.Trace.op_start (op_code op);
+          let t0 = if timed then Sim.now () else 0 in
+          let ok =
             match op with
-            | Workload.Search ->
-                let r = M.search t k in
-                record (if r <> None then lat.search_hit else lat.search_miss)
+            | Workload.Search -> M.search t k <> None
             | Workload.Insert ->
                 upd_att.(tid) <- upd_att.(tid) + 1;
                 let r = M.insert t k tid in
                 if r then upd_ok.(tid) <- upd_ok.(tid) + 1;
-                record (if r then lat.insert_ok else lat.insert_fail)
+                r
             | Workload.Remove ->
                 upd_att.(tid) <- upd_att.(tid) + 1;
                 let r = M.remove t k in
                 if r then upd_ok.(tid) <- upd_ok.(tid) + 1;
-                record (if r then lat.remove_ok else lat.remove_fail)
-          end
-          else begin
-            match op with
-            | Workload.Search -> ignore (M.search t k)
-            | Workload.Insert ->
-                upd_att.(tid) <- upd_att.(tid) + 1;
-                if M.insert t k tid then upd_ok.(tid) <- upd_ok.(tid) + 1
-            | Workload.Remove ->
-                upd_att.(tid) <- upd_att.(tid) + 1;
-                if M.remove t k then upd_ok.(tid) <- upd_ok.(tid) + 1
+                r
+          in
+          if timed then begin
+            let t1 = Sim.now () in
+            if latency then begin
+              let h =
+                match (op, ok) with
+                | Workload.Search, true -> lat.search_hit
+                | Workload.Search, false -> lat.search_miss
+                | Workload.Insert, true -> lat.insert_ok
+                | Workload.Insert, false -> lat.insert_fail
+                | Workload.Remove, true -> lat.remove_ok
+                | Workload.Remove, false -> lat.remove_fail
+              in
+              H.add h (float_of_int (t1 - t0) /. ghz)
+            end;
+            match history with
+            | Some h ->
+                let kind =
+                  match op with
+                  | Workload.Search -> History.Search
+                  | Workload.Insert -> History.Insert
+                  | Workload.Remove -> History.Remove
+                in
+                History.record h ~tid ~kind ~key:k ~result:ok ~inv:t0 ~res:t1
+            | None -> ()
           end;
+          Sim.Trace.op_end (op_code op);
           M.op_done t
         done
       in
@@ -106,6 +135,9 @@ let run ?(seed = 1) ?(latency = false) (module A : Ascy_core.Set_intf.MAKER) ~pl
         algorithm = M.name;
         platform = platform.P.name;
         nthreads;
+        seed;
+        ops_per_thread;
+        workload;
         ops;
         updates_attempted = Array.fold_left ( + ) 0 upd_att;
         updates_successful = Array.fold_left ( + ) 0 upd_ok;

@@ -64,6 +64,40 @@ type mem_counters = {
 let fresh_counters () =
   { accesses = 0; l1 = 0; llc = 0; c2c_local = 0; c2c_remote = 0; llc_remote = 0; mem = 0; rmw = 0; energy_nj = 0.0 }
 
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Where an access was served from (which coherence path it took). *)
+type trace_class = Tc_l1 | Tc_llc | Tc_c2c_local | Tc_c2c_remote | Tc_llc_remote | Tc_mem
+
+let trace_class_name = function
+  | Tc_l1 -> "l1"
+  | Tc_llc -> "llc"
+  | Tc_c2c_local -> "c2c_local"
+  | Tc_c2c_remote -> "c2c_remote"
+  | Tc_llc_remote -> "llc_remote"
+  | Tc_mem -> "mem"
+
+type trace_event =
+  | T_op_start of int  (** harness-assigned operation code *)
+  | T_op_end of int
+  | T_access of access_kind * int * trace_class  (** kind, line id, service class *)
+
+type trace_entry = { tr_cycle : int; tr_ev : trace_event }
+
+(* Fixed-capacity ring: the newest [cap] entries survive; older ones are
+   overwritten ([total] still counts every event ever pushed). *)
+type trace_buf = {
+  tr_cap : int;
+  tr_buf : trace_entry array;
+  mutable tr_n : int; (* live entries, <= cap *)
+  mutable tr_next : int; (* slot the next push writes *)
+  mutable tr_total : int;
+}
+
+let dummy_trace_entry = { tr_cycle = 0; tr_ev = T_op_start 0 }
+
 (* In-flight best-effort transaction of the currently-running simulated
    thread (the simulator is cooperative, so one slot suffices). *)
 type txn_state = {
@@ -90,13 +124,15 @@ type t = {
   mutable cur : int; (* currently-executing simulated thread, or -1 *)
   mutable live : int;
   mutable txn : txn_state option;
+  tracing : bool; (* cheap flag checked on the access hot path *)
+  trace : trace_buf array; (* per-thread rings; empty array when off *)
 }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
 
 let dummy_line = { owner = -1; sharers = Ascy_util.Bits.create 1 }
 
-let create ?(seed = 42) ?(jitter = 0) ~platform ~nthreads () =
+let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads () =
   if nthreads < 1 || nthreads > P.hw_threads platform then
     invalid_arg
       (Printf.sprintf "Sim.create: nthreads %d out of range 1..%d for %s" nthreads
@@ -140,6 +176,18 @@ let create ?(seed = 42) ?(jitter = 0) ~platform ~nthreads () =
     cur = -1;
     live = 0;
     txn = None;
+    tracing = trace_capacity > 0;
+    trace =
+      (if trace_capacity > 0 then
+         Array.init nthreads (fun _ ->
+             {
+               tr_cap = trace_capacity;
+               tr_buf = Array.make trace_capacity dummy_trace_entry;
+               tr_n = 0;
+               tr_next = 0;
+               tr_total = 0;
+             })
+       else [||]);
   }
 
 (* The simulation the calling (real) thread is currently driving.  The
@@ -174,13 +222,24 @@ let in_priv sim core line = sim.priv.(core).(line land sim.priv_mask) = line
 let install_llc sim socket line = sim.llc_tags.(socket).(line land sim.llc_mask) <- line
 let in_llc sim socket line = sim.llc_tags.(socket).(line land sim.llc_mask) = line
 
-(* Charge and account one memory access; returns its latency in cycles. *)
+(* Append one event to [tid]'s trace ring (caller checks [sim.tracing]). *)
+let trace_push sim tid cycle ev =
+  let b = sim.trace.(tid) in
+  b.tr_buf.(b.tr_next) <- { tr_cycle = cycle; tr_ev = ev };
+  b.tr_next <- (b.tr_next + 1) mod b.tr_cap;
+  if b.tr_n < b.tr_cap then b.tr_n <- b.tr_n + 1;
+  b.tr_total <- b.tr_total + 1
+
+(* Charge and account one memory access; returns its latency in cycles.
+   [tcls] is threaded out so the tracer can record which coherence path
+   served the access. *)
 let access_cost sim th kind line =
   let p = sim.plat in
   let ls = Ascy_util.Vec.get sim.lines line in
   let c = th.core and s = th.socket in
   let cnt = sim.counters.(th.tid) in
   cnt.accesses <- cnt.accesses + 1;
+  let tcls = ref Tc_l1 in
   let have_copy = in_priv sim c line && (ls.owner = c || Ascy_util.Bits.mem ls.sharers c) in
   let lat =
     match kind with
@@ -200,16 +259,19 @@ let access_cost sim th kind line =
               cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
               if osock = s then begin
                 cnt.c2c_local <- cnt.c2c_local + 1;
+                tcls := Tc_c2c_local;
                 p.P.c_c2c_local
               end
               else begin
                 cnt.c2c_remote <- cnt.c2c_remote + 1;
+                tcls := Tc_c2c_remote;
                 p.P.c_c2c_remote
               end
             end
             else if in_llc sim s line then begin
               cnt.llc <- cnt.llc + 1;
               cnt.energy_nj <- cnt.energy_nj +. em.P.nj_llc;
+              tcls := Tc_llc;
               p.P.c_llc
             end
             else begin
@@ -221,11 +283,13 @@ let access_cost sim th kind line =
               if !remote then begin
                 cnt.llc_remote <- cnt.llc_remote + 1;
                 cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+                tcls := Tc_llc_remote;
                 p.P.c_llc_remote
               end
               else begin
                 cnt.mem <- cnt.mem + 1;
                 cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
+                tcls := Tc_mem;
                 p.P.c_mem
               end
             end
@@ -247,10 +311,12 @@ let access_cost sim th kind line =
             cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
             if osock = s then begin
               cnt.c2c_local <- cnt.c2c_local + 1;
+              tcls := Tc_c2c_local;
               p.P.c_c2c_local
             end
             else begin
               cnt.c2c_remote <- cnt.c2c_remote + 1;
+              tcls := Tc_c2c_remote;
               p.P.c_c2c_remote
             end
           end
@@ -262,16 +328,19 @@ let access_cost sim th kind line =
             cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
             if remote_sharer then begin
               cnt.llc_remote <- cnt.llc_remote + 1;
+              tcls := Tc_llc_remote;
               p.P.c_llc_remote
             end
             else begin
               cnt.llc <- cnt.llc + 1;
+              tcls := Tc_llc;
               p.P.c_llc
             end
           end
           else begin
             cnt.mem <- cnt.mem + 1;
             cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
+            tcls := Tc_mem;
             p.P.c_mem
           end
         in
@@ -291,6 +360,7 @@ let access_cost sim th kind line =
   in
   let instr = int_of_float (float_of_int p.P.c_instr *. th.instr_scale) in
   cnt.energy_nj <- cnt.energy_nj +. em.P.nj_instr;
+  if sim.tracing then trace_push sim th.tid th.clock (T_access (kind, line, !tcls));
   let j = if sim.jitter > 0 then Ascy_util.Xorshift.below sim.rng (sim.jitter + 1) else 0 in
   lat + instr + j
 
@@ -598,8 +668,8 @@ let warm sim =
 (** [with_sim ?seed ?jitter ~platform ~nthreads f] installs a fresh
     simulation, runs [f sim] (which typically builds a structure through
     {!Mem} and then calls {!run}), and uninstalls it. *)
-let with_sim ?seed ?jitter ~platform ~nthreads f =
-  let sim = create ?seed ?jitter ~platform ~nthreads () in
+let with_sim ?seed ?jitter ?trace_capacity ~platform ~nthreads f =
+  let sim = create ?seed ?jitter ?trace_capacity ~platform ~nthreads () in
   let saved = !current in
   current := Some sim;
   Fun.protect ~finally:(fun () -> current := saved) (fun () -> f sim)
@@ -608,6 +678,98 @@ let with_sim ?seed ?jitter ~platform ~nthreads f =
 let now () =
   let sim = the_sim () in
   if sim.cur < 0 then 0 else sim.threads.(sim.cur).clock
+
+(* ------------------------------------------------------------------ *)
+(* Tracing front-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-thread trace ring buffers.  Enabled by passing [~trace_capacity]
+    (entries retained per thread) to {!create} / {!with_sim}; when off
+    — the default — the only cost on the access path is one boolean
+    test.  The simulator records every memory access with the coherence
+    path that served it; the harness brackets operations with
+    {!Trace.op_start} / {!Trace.op_end}. *)
+module Trace = struct
+  type event = trace_event =
+    | T_op_start of int
+    | T_op_end of int
+    | T_access of access_kind * int * trace_class
+
+  type entry = trace_entry = { tr_cycle : int; tr_ev : trace_event }
+
+  let class_name = trace_class_name
+
+  let enabled sim = sim.tracing
+
+  (* Marks are no-ops unless a traced simulation is installed and a
+     simulated thread is executing. *)
+  let mark ev =
+    match !current with
+    | Some sim when sim.tracing && sim.cur >= 0 ->
+        trace_push sim sim.cur sim.threads.(sim.cur).clock ev
+    | _ -> ()
+
+  let op_start code = mark (T_op_start code)
+  let op_end code = mark (T_op_end code)
+
+  (** Events ever pushed to [tid]'s ring (retained or overwritten). *)
+  let total sim tid = if sim.tracing then sim.trace.(tid).tr_total else 0
+
+  (** Retained entries of [tid], oldest first. *)
+  let entries sim tid =
+    if not sim.tracing then []
+    else begin
+      let b = sim.trace.(tid) in
+      let start = (b.tr_next - b.tr_n + b.tr_cap) mod b.tr_cap in
+      List.init b.tr_n (fun i -> b.tr_buf.((start + i) mod b.tr_cap))
+    end
+
+  let kind_name = function Read -> "R" | Write -> "W" | Rmw -> "RMW"
+
+  let pp_entry ?(op_name = string_of_int) tid e =
+    match e.tr_ev with
+    | T_op_start code -> Printf.sprintf "t%-3d @%-10d op_start %s" tid e.tr_cycle (op_name code)
+    | T_op_end code -> Printf.sprintf "t%-3d @%-10d op_end   %s" tid e.tr_cycle (op_name code)
+    | T_access (kind, line, cls) ->
+        Printf.sprintf "t%-3d @%-10d %-3s line=%-6d %s" tid e.tr_cycle (kind_name kind) line
+          (class_name cls)
+
+  let entry_json tid e =
+    let module J = Ascy_util.Json in
+    let common = [ ("tid", J.Int tid); ("cycle", J.Int e.tr_cycle) ] in
+    J.Obj
+      (match e.tr_ev with
+      | T_op_start code -> common @ [ ("ev", J.String "op_start"); ("op", J.Int code) ]
+      | T_op_end code -> common @ [ ("ev", J.String "op_end"); ("op", J.Int code) ]
+      | T_access (kind, line, cls) ->
+          common
+          @ [
+              ("ev", J.String "access");
+              ("kind", J.String (kind_name kind));
+              ("line", J.Int line);
+              ("class", J.String (class_name cls));
+            ])
+
+  (** [dump ?json ?op_name oc sim] renders every thread's retained
+      entries, oldest first per thread.  Text (default) is one line per
+      event; [~json:true] emits one JSON array of event objects. *)
+  let dump ?(json = false) ?op_name oc sim =
+    if json then begin
+      let entries_json =
+        List.concat
+          (List.init (Array.length sim.trace) (fun tid ->
+               List.map (entry_json tid) (entries sim tid)))
+      in
+      output_string oc (Ascy_util.Json.to_string ~indent:1 (Ascy_util.Json.List entries_json));
+      output_string oc "\n"
+    end
+    else
+      Array.iteri
+        (fun tid b ->
+          Printf.fprintf oc "-- thread %d: %d events (%d retained)\n" tid b.tr_total b.tr_n;
+          List.iter (fun e -> Printf.fprintf oc "%s\n" (pp_entry ?op_name tid e)) (entries sim tid))
+        sim.trace
+end
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)

@@ -7,11 +7,13 @@
     removal reverses the victim's forward pointers level by level so
     concurrent traversals standing on it retreat to the predecessor.
 
-    Deviation (documented): an insert racing with the removal of the same
-    node can leave the victim linked at an upper level as an inert,
-    logically-deleted router; searches skip it and memory safety is
-    unaffected.  Pugh's paper resolves this with the same check-the-flag
-    protocol we apply; the residual window is benign. *)
+    An insert holds the new node's own lock for the whole tower build
+    (Pugh's check-the-flag protocol): a remove of the same key
+    serializes behind it, so a victim is always linked at every level
+    of its tower when its removal starts.  Without this, removal's
+    per-level scan can run before an upper level is linked, leaving the
+    node behind as a permanently-linked logically-deleted router — and
+    [get_lock] livelocks retreating from it forever. *)
 
 module Make (Mem : Ascy_mem.Memory.S) = struct
   module L = Ascy_locks.Ttas.Make (Mem)
@@ -128,6 +130,13 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     else begin
       let h = Lg.next t.levels in
       let x = mk_info k (Some v) h in
+      (* Hold x's own lock across the whole tower build: a concurrent
+         remove of k serializes behind it (remove locks its victim
+         before marking it deleted), so the victim of any removal is
+         fully linked — no level can be skipped by the unlink scan and
+         left behind as a permanent deleted router.  Lock order stays
+         descending (x.key = k, then predecessors with keys < k). *)
+      L.acquire x.lock;
       let rec link lvl =
         if lvl >= h then true
         else begin
@@ -143,12 +152,6 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
                 L.release pred.lock;
                 link 1
           end
-          else if Mem.get x.deleted then begin
-            (* our node was removed while we were still building its
-               tower: stop linking further levels *)
-            L.release pred.lock;
-            true
-          end
           else begin
             Mem.set x.nexts.(lvl) (Mem.get pred.nexts.(lvl));
             Mem.set pred.nexts.(lvl) (Node x);
@@ -157,7 +160,9 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
           end
         end
       in
-      link 0
+      let linked = link 0 in
+      L.release x.lock;
+      linked
     end
 
   (* Find-and-lock the predecessor of [x] at [lvl], starting from a
@@ -192,10 +197,22 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let remove t k =
     Mem.emit E.parse;
     let preds = parse t k in
+    (* Re-advance from the parse hint rather than trusting one re-read:
+       preds.(0) may since have been removed — its level-0 pointer then
+       points *backward* (reversal) — or a smaller key may have been
+       inserted in the gap.  Either way a single read of
+       preds.(0).nexts.(0) can return a key < k node and miss a live
+       victim; walking re-converges onto the current list. *)
+    let rec candidate info =
+      match Mem.get info.nexts.(0) with
+      | Node n when n.key < k ->
+          Mem.touch n.line;
+          candidate n
+      | c -> c
+    in
+    let cand = candidate preds.(0) in
     let quick_absent =
-      match Mem.get preds.(0).nexts.(0) with
-      | Node n when n.key = k -> Mem.get n.deleted
-      | _ -> true
+      match cand with Node n when n.key = k -> Mem.get n.deleted | _ -> true
     in
     if t.rof && quick_absent then false
     else begin
@@ -203,7 +220,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
          keys): every operation acquires locks in descending key order, so
          no deadlock is possible.  The candidate comes straight from the
          tower parse (no linear level-0 rescan). *)
-      match Mem.get preds.(0).nexts.(0) with
+      match cand with
       | Node x when x.key = k ->
           L.acquire x.lock;
           if Mem.get x.deleted then begin

@@ -1,29 +1,44 @@
-(** Latency histograms with logarithmic buckets and exact percentile support
-    for moderate sample counts.
+(** Latency histograms with exact percentile support for moderate sample
+    counts.
 
     The harness records one sample per measured operation (or a sampled
     subset); percentiles are computed by sorting the raw samples, matching
-    how the paper reports 1/25/50/75/99-percentile latency distributions. *)
+    how the paper reports 1/25/50/75/99-percentile latency distributions.
+    The sample vector is sorted lazily: [add] marks it dirty and the first
+    subsequent percentile query re-sorts it, so a [summary] (five
+    percentile queries) costs one sort, not five. *)
 
-type t = { samples : float Vec.t; mutable sum : float; mutable count : int }
+type t = {
+  samples : float Vec.t;
+  mutable sum : float;
+  mutable count : int;
+  mutable sorted : bool; (* samples are in nondecreasing order *)
+}
 
-let create () = { samples = Vec.create ~capacity:1024 0.0; sum = 0.0; count = 0 }
+let create () = { samples = Vec.create ~capacity:1024 0.0; sum = 0.0; count = 0; sorted = true }
 
 let add t x =
   Vec.push t.samples x;
   t.sum <- t.sum +. x;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  t.sorted <- false
 
 let count t = t.count
 
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    Vec.sort compare t.samples;
+    t.sorted <- true
+  end
 
 (** [percentile t p] returns the [p]-th percentile (0 <= p <= 100) using the
     nearest-rank method; 0 when the histogram is empty. *)
 let percentile t p =
   if t.count = 0 then 0.0
   else begin
-    Vec.sort compare t.samples;
+    ensure_sorted t;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
     let idx = max 0 (min (t.count - 1) (rank - 1)) in
     Vec.get t.samples idx
@@ -33,6 +48,9 @@ let percentile t p =
 let summary t =
   [| percentile t 1.0; percentile t 25.0; percentile t 50.0; percentile t 75.0; percentile t 99.0 |]
 
+(** [merge a b] adds every sample of [b] into [a] and returns [a]; [b] is
+    unchanged.  [merge a a] is a no-op (merging a histogram into itself
+    would double-count every sample). *)
 let merge a b =
-  Vec.iter (fun x -> add a x) b.samples;
+  if a != b then Vec.iter (fun x -> add a x) b.samples;
   a

@@ -35,10 +35,29 @@ let next_int64 t =
 (** [next t] returns a non-negative random [int]. *)
 let next t = Int64.to_int (next_int64 t) land max_int
 
-(** [below t n] returns a uniform integer in [\[0, n)].  Requires [n > 0]. *)
+(** [below t n] returns a uniform integer in [\[0, n)].  Requires [n > 0].
+
+    Uses rejection sampling: a plain [next t mod n] is modulo-biased
+    whenever [n] does not divide [max_int + 1] (for large [n] the low
+    residues are visibly more likely).  Draws whose residue class is
+    over-represented are redrawn, so every value in [\[0, n)] is exactly
+    equally likely.  Still deterministic per seed: the same seed consumes
+    the same draw sequence and yields the same values. *)
 let below t n =
-  assert (n > 0);
-  next t mod n
+  if n <= 0 then invalid_arg "Xorshift.below: n must be positive";
+  (* [next] is uniform over the [max_int + 1] values in [0, max_int];
+     the top [(max_int + 1) mod n] residues would be hit once more than
+     the rest, so reject draws above the largest multiple-of-n cutoff. *)
+  let r = ((max_int mod n) + 1) mod n in
+  if r = 0 then next t mod n
+  else begin
+    let cutoff = max_int - r in
+    let x = ref (next t) in
+    while !x > cutoff do
+      x := next t
+    done;
+    !x mod n
+  end
 
 (** [float t] returns a uniform float in [\[0, 1)]. *)
 let float t = float_of_int (next t) /. (float_of_int max_int +. 1.)

@@ -170,6 +170,40 @@ let sim_stress (module Maker : Set_intf.MAKER) ~seed ~nthreads ~key_range ~ops ~
       done;
       checki "size agrees with membership" !live (M.size t))
 
+(* Linearizability: record every operation's invocation/response cycle
+   stamps and result under a contended simulated schedule, then check
+   the history against the sequential set semantics (History.check). *)
+let lin_stress (module Maker : Set_intf.MAKER) ~seed ~nthreads ~key_range ~ops ~updates () =
+  let module M = Maker (Sim.Mem) in
+  let module H = Ascy_harness.History in
+  Sim.with_sim ~seed ~jitter:3 ~platform:Ascy_platform.Platform.xeon20 ~nthreads (fun sim ->
+      let t = M.create ~hint:key_range () in
+      let h = H.create () in
+      for k = 0 to key_range - 1 do
+        if k land 1 = 0 && M.insert t k (-1) then H.add_initial h k
+      done;
+      let body tid () =
+        let rng = Ascy_util.Xorshift.create (seed + (tid * 7919)) in
+        for _ = 1 to ops do
+          let k = Ascy_util.Xorshift.below rng key_range in
+          let r = Ascy_util.Xorshift.below rng 100 in
+          let inv = Sim.now () in
+          let kind, result =
+            if r < updates / 2 then (H.Insert, M.insert t k tid)
+            else if r < updates then (H.Remove, M.remove t k)
+            else (H.Search, M.search t k <> None)
+          in
+          H.record h ~tid ~kind ~key:k ~result ~inv ~res:(Sim.now ());
+          M.op_done t
+        done
+      in
+      ignore (Sim.run sim (Array.init nthreads body));
+      match H.check h with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "history of %d ops not linearizable (seed %d): %s" (H.length h) seed
+            (H.pp_violation v))
+
 (* Same stress with ASCY3 disabled ("-no" variants): exercises the
    lock-then-fail paths concurrently. *)
 let no_rof_maker (module A : Set_intf.MAKER) : (module Set_intf.MAKER) =
@@ -253,6 +287,10 @@ let suite ?(concurrent = true) name (module Maker : Set_intf.MAKER) =
           ])
         [ 1; 2; 3 ]
       @ [
+          Alcotest.test_case (name ^ ": linearizable, 4 thr") `Quick
+            (lin_stress (module Maker) ~seed:21 ~nthreads:4 ~key_range:8 ~ops:60 ~updates:60);
+          Alcotest.test_case (name ^ ": linearizable, 8 thr") `Quick
+            (lin_stress (module Maker) ~seed:22 ~nthreads:8 ~key_range:12 ~ops:40 ~updates:50);
           Alcotest.test_case
             (name ^ ": sim stress 6 thr, read_only_fail=false")
             `Quick

@@ -1,0 +1,56 @@
+(* Regenerates the golden serialization pinned by
+   test_harness.test_results_golden_file:
+
+     dune exec test/gen_golden.exe > test/results_golden.json
+
+   The synthetic result below MUST stay in sync with
+   [Test_harness.synthetic_result]; regenerating the golden file is the
+   deliberate act of changing the schema (bump
+   [Ascy_harness.Results.schema_version] when the change is not
+   backward compatible). *)
+
+module R = Ascy_harness.Sim_run
+module W = Ascy_harness.Workload
+module H = Ascy_util.Histogram
+
+let synthetic_result () : R.result =
+  let lat = R.fresh_latencies () in
+  List.iter (H.add lat.R.search_hit) [ 10.0; 20.0; 30.0; 40.0 ];
+  H.add lat.R.insert_ok 15.0;
+  {
+    R.algorithm = "golden-algo";
+    platform = "Xeon20";
+    nthreads = 4;
+    seed = 7;
+    ops_per_thread = 25;
+    workload = W.make ~initial:16 ~update_pct:20 ();
+    ops = 100;
+    updates_attempted = 20;
+    updates_successful = 10;
+    seconds = 0.001;
+    throughput_mops = 0.1;
+    stats =
+      {
+        Ascy_mem.Sim.makespan_cycles = 2300;
+        seconds = 0.001;
+        accesses = 1000;
+        hits_l1 = 900;
+        hits_llc = 50;
+        transfers_local = 20;
+        transfers_remote = 10;
+        fetch_remote = 5;
+        misses_mem = 15;
+        atomics = 30;
+        energy_j = 0.5;
+        power_w = 500.0;
+        events = Array.init Ascy_mem.Event.count (fun i -> i);
+      };
+    latencies = lat;
+    final_size = 17;
+  }
+
+let () =
+  print_string
+    (Ascy_util.Json.to_string ~indent:1
+       (Ascy_harness.Results.of_sim_run ~label:"golden" (synthetic_result ())));
+  print_newline ()

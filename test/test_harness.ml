@@ -163,6 +163,275 @@ let test_txn_commit_and_abort () =
 let test_native_txn_is_none () =
   Alcotest.(check bool) "no HTM natively" true (Ascy_mem.Mem_native.txn (fun () -> 1) = None)
 
+(* ------------------------------------------------------------------ *)
+(* History recording + linearizability checking                        *)
+(* ------------------------------------------------------------------ *)
+
+module Hist = Ascy_harness.History
+
+let ev h ~tid ~kind ~key ~result ~inv ~res = Hist.record h ~tid ~kind ~key ~result ~inv ~res
+
+(* Concurrent insert/search where only one order explains the results:
+   the checker must find it. *)
+let test_history_accepts_reordering () =
+  let h = Hist.create () in
+  (* search overlaps the insert and misses: linearize it first *)
+  ev h ~tid:0 ~kind:Hist.Insert ~key:1 ~result:true ~inv:0 ~res:100;
+  ev h ~tid:1 ~kind:Hist.Search ~key:1 ~result:false ~inv:50 ~res:60;
+  (* later search finds it *)
+  ev h ~tid:1 ~kind:Hist.Search ~key:1 ~result:true ~inv:200 ~res:210;
+  Alcotest.(check bool) "linearizable" true (Hist.linearizable h)
+
+let test_history_respects_realtime_order () =
+  let h = Hist.create () in
+  (* the search STARTS after the insert RESPONDED, so it cannot be
+     linearized before the insert — result false is a violation *)
+  ev h ~tid:0 ~kind:Hist.Insert ~key:1 ~result:true ~inv:0 ~res:100;
+  ev h ~tid:1 ~kind:Hist.Search ~key:1 ~result:false ~inv:150 ~res:160;
+  Alcotest.(check bool) "non-linearizable" false (Hist.linearizable h)
+
+let test_history_double_insert () =
+  let h = Hist.create () in
+  (* two non-overlapping successful inserts of the same key with no
+     remove in between: impossible for a set *)
+  ev h ~tid:0 ~kind:Hist.Insert ~key:3 ~result:true ~inv:0 ~res:10;
+  ev h ~tid:1 ~kind:Hist.Insert ~key:3 ~result:true ~inv:20 ~res:30;
+  (match Hist.check h with
+  | Ok () -> Alcotest.fail "double insert accepted"
+  | Error v -> Alcotest.(check int) "violating key" 3 v.Hist.v_key);
+  (* ...but fine if a remove overlaps the second insert *)
+  let h2 = Hist.create () in
+  ev h2 ~tid:0 ~kind:Hist.Insert ~key:3 ~result:true ~inv:0 ~res:10;
+  ev h2 ~tid:1 ~kind:Hist.Insert ~key:3 ~result:true ~inv:20 ~res:30;
+  ev h2 ~tid:2 ~kind:Hist.Remove ~key:3 ~result:true ~inv:15 ~res:35;
+  Alcotest.(check bool) "remove in between explains it" true (Hist.linearizable h2)
+
+let test_history_initial_state () =
+  let h = Hist.create () in
+  Hist.add_initial h 9;
+  ev h ~tid:0 ~kind:Hist.Remove ~key:9 ~result:true ~inv:0 ~res:10;
+  ev h ~tid:0 ~kind:Hist.Search ~key:9 ~result:false ~inv:20 ~res:30;
+  Alcotest.(check bool) "prefilled key removable" true (Hist.linearizable h);
+  let h2 = Hist.create () in
+  ev h2 ~tid:0 ~kind:Hist.Remove ~key:9 ~result:true ~inv:0 ~res:10;
+  Alcotest.(check bool) "remove from empty set fails" false (Hist.linearizable h2)
+
+(* End-to-end: Sim_run with ?history on a correct algorithm. *)
+let test_sim_run_history_linearizable () =
+  let wl = W.make ~initial:16 ~update_pct:50 () in
+  let h = Hist.create () in
+  let r =
+    R.run ~history:h (maker "ht-clht-lb") ~platform:P.xeon20 ~nthreads:6 ~workload:wl
+      ~ops_per_thread:40 ()
+  in
+  Alcotest.(check int) "every op recorded" r.R.ops (Hist.length h);
+  match Hist.check h with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "clht history not linearizable: %s" (Hist.pp_violation v)
+
+(* Intentionally seeded non-linearizable mutation: a wrapper whose
+   [remove] always claims success.  The checker must catch it. *)
+let lying_remove_maker (module A : Ascy_core.Set_intf.MAKER) : (module Ascy_core.Set_intf.MAKER)
+    =
+  (module functor (Mem : Ascy_mem.Memory.S) -> struct
+    include A (Mem)
+
+    let remove t k =
+      ignore (remove t k);
+      true
+  end)
+
+let test_history_catches_seeded_mutation () =
+  let wl = W.make ~initial:8 ~update_pct:60 () in
+  let h = Hist.create () in
+  ignore
+    (R.run ~history:h
+       (lying_remove_maker (maker "ll-lazy"))
+       ~platform:P.xeon20 ~nthreads:4 ~workload:wl ~ops_per_thread:30 ());
+  match Hist.check h with
+  | Ok () -> Alcotest.fail "seeded lying-remove mutation went undetected"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Sim = Ascy_mem.Sim
+
+let test_trace_records_ops_and_accesses () =
+  let wl = W.make ~initial:32 ~update_pct:20 () in
+  let nthreads = 4 and ops = 25 in
+  let r =
+    R.run ~trace_capacity:100_000 (maker "ll-lazy") ~platform:P.xeon20 ~nthreads ~workload:wl
+      ~ops_per_thread:ops ()
+  in
+  ignore r;
+  (* with_sim uninstalls the sim, so re-run inside the scope to inspect *)
+  Sim.with_sim ~trace_capacity:4096 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+      Alcotest.(check bool) "tracing enabled" true (Sim.Trace.enabled sim);
+      let x = Sim.Mem.make_fresh 0 in
+      let body tid () =
+        Sim.Trace.op_start 1;
+        for _ = 1 to 5 do
+          Sim.Mem.set x (Sim.Mem.get x + tid)
+        done;
+        Sim.Trace.op_end 1
+      in
+      ignore (Sim.run sim (Array.init 2 body));
+      List.iter
+        (fun tid ->
+          let entries = Sim.Trace.entries sim tid in
+          Alcotest.(check bool) "has entries" true (List.length entries > 0);
+          let starts, ends, accesses =
+            List.fold_left
+              (fun (s, e, a) (en : Sim.Trace.entry) ->
+                match en.Sim.Trace.tr_ev with
+                | Sim.Trace.T_op_start _ -> (s + 1, e, a)
+                | Sim.Trace.T_op_end _ -> (s, e + 1, a)
+                | Sim.Trace.T_access _ -> (s, e, a + 1))
+              (0, 0, 0) entries
+          in
+          Alcotest.(check int) "one op_start" 1 starts;
+          Alcotest.(check int) "one op_end" 1 ends;
+          Alcotest.(check int) "10 traced accesses" 10 accesses;
+          (* cycle stamps are nondecreasing within a thread *)
+          let rec mono = function
+            | (a : Sim.Trace.entry) :: (b : Sim.Trace.entry) :: tl ->
+                a.Sim.Trace.tr_cycle <= b.Sim.Trace.tr_cycle && mono (b :: tl)
+            | _ -> true
+          in
+          Alcotest.(check bool) "cycles nondecreasing" true (mono entries))
+        [ 0; 1 ])
+
+let test_trace_ring_wraps () =
+  Sim.with_sim ~trace_capacity:8 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let x = Sim.Mem.make_fresh 0 in
+      let body _ () =
+        for _ = 1 to 50 do
+          Sim.Mem.set x (Sim.Mem.get x + 1)
+        done
+      in
+      ignore (Sim.run sim [| body 0 |]);
+      Alcotest.(check int) "ring keeps capacity entries" 8
+        (List.length (Sim.Trace.entries sim 0));
+      Alcotest.(check bool) "total counts everything" true (Sim.Trace.total sim 0 >= 100))
+
+let test_trace_off_by_default () =
+  Sim.with_sim ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let x = Sim.Mem.make_fresh 0 in
+      ignore (Sim.run sim [| (fun () -> Sim.Mem.set x 1) |]);
+      Alcotest.(check bool) "tracing off" false (Sim.Trace.enabled sim);
+      Alcotest.(check int) "no entries" 0 (List.length (Sim.Trace.entries sim 0));
+      Alcotest.(check int) "no totals" 0 (Sim.Trace.total sim 0))
+
+let test_trace_dump_renders () =
+  Sim.with_sim ~trace_capacity:64 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let x = Sim.Mem.make_fresh 0 in
+      ignore (Sim.run sim [| (fun () -> Sim.Mem.set x 1) |]);
+      let tmp = Filename.temp_file "ascy_trace" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove tmp)
+        (fun () ->
+          let oc = open_out tmp in
+          Sim.Trace.dump oc sim;
+          close_out oc;
+          let ic = open_in tmp in
+          let line = input_line ic in
+          close_in ic;
+          Alcotest.(check bool) "text header present" true
+            (String.length line > 0 && String.sub line 0 2 = "--");
+          let oc = open_out tmp in
+          Sim.Trace.dump ~json:true oc sim;
+          close_out oc;
+          let ic = open_in tmp in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          match Ascy_util.Json.of_string (String.trim s) with
+          | Ascy_util.Json.List (_ :: _) -> ()
+          | _ -> Alcotest.fail "json dump is not a non-empty array"))
+
+(* ------------------------------------------------------------------ *)
+(* Structured results: schema round-trip + golden file                 *)
+(* ------------------------------------------------------------------ *)
+
+module Res = Ascy_harness.Results
+module J = Ascy_util.Json
+
+(* A fully deterministic synthetic result: golden-file stability must
+   not depend on simulator internals. *)
+let synthetic_result () : R.result =
+  let lat = R.fresh_latencies () in
+  List.iter (Ascy_util.Histogram.add lat.R.search_hit) [ 10.0; 20.0; 30.0; 40.0 ];
+  Ascy_util.Histogram.add lat.R.insert_ok 15.0;
+  {
+    R.algorithm = "golden-algo";
+    platform = "Xeon20";
+    nthreads = 4;
+    seed = 7;
+    ops_per_thread = 25;
+    workload = W.make ~initial:16 ~update_pct:20 ();
+    ops = 100;
+    updates_attempted = 20;
+    updates_successful = 10;
+    seconds = 0.001;
+    throughput_mops = 0.1;
+    stats =
+      {
+        Ascy_mem.Sim.makespan_cycles = 2300;
+        seconds = 0.001;
+        accesses = 1000;
+        hits_l1 = 900;
+        hits_llc = 50;
+        transfers_local = 20;
+        transfers_remote = 10;
+        fetch_remote = 5;
+        misses_mem = 15;
+        atomics = 30;
+        energy_j = 0.5;
+        power_w = 500.0;
+        events = Array.init Ascy_mem.Event.count (fun i -> i);
+      };
+    latencies = lat;
+    final_size = 17;
+  }
+
+let test_results_roundtrip () =
+  let j = Res.of_sim_run ~label:"golden" (synthetic_result ()) in
+  let j' = J.of_string (J.to_string ~indent:1 j) in
+  Alcotest.(check bool) "serialized record parses back equal" true (j = j');
+  (* spot-check the fields downstream tooling keys on *)
+  let get k = match J.member k j' with Some v -> v | None -> Alcotest.failf "missing %s" k in
+  Alcotest.(check (option string)) "algorithm" (Some "golden-algo") (J.to_string_opt (get "algorithm"));
+  Alcotest.(check (option int)) "nthreads" (Some 4) (J.to_int_opt (get "nthreads"));
+  let stats = get "stats" in
+  Alcotest.(check (option int)) "atomics" (Some 30)
+    (Option.bind (J.member "atomics" stats) J.to_int_opt);
+  let lat = get "latency_ns" in
+  let sh = match J.member "search_hit" lat with Some v -> v | None -> Alcotest.fail "no search_hit" in
+  Alcotest.(check (option int)) "lat count" (Some 4)
+    (Option.bind (J.member "count" sh) J.to_int_opt);
+  Alcotest.(check bool) "p99 present" true (J.member "p99" sh <> None);
+  Alcotest.(check bool) "empty class is null" true (J.member "remove_ok" lat = Some J.Null)
+
+(* The committed golden file pins the schema: if serialization changes,
+   this fails and the schema_version must be bumped (regenerate with
+   `dune exec test/gen_golden.exe > test/results_golden.json`). *)
+let test_results_golden_file () =
+  (* dune runtest runs from _build/default/test; dune exec from the root *)
+  let golden =
+    if Sys.file_exists "results_golden.json" then "results_golden.json"
+    else "test/results_golden.json"
+  in
+  let ic = open_in golden in
+  let n = in_channel_length ic in
+  let want = really_input_string ic n in
+  close_in ic;
+  let got = J.to_string ~indent:1 (Res.of_sim_run ~label:"golden" (synthetic_result ())) ^ "\n" in
+  Alcotest.(check string) "golden serialization" want got;
+  Alcotest.(check bool) "golden file parses" true
+    (match J.of_string (String.trim want) with J.Obj _ -> true | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "workload op mix" `Quick test_workload_mix;
@@ -177,4 +446,16 @@ let suite =
     Alcotest.test_case "async is the upper bound" `Quick test_async_upper_bound;
     Alcotest.test_case "txn commit and abort" `Quick test_txn_commit_and_abort;
     Alcotest.test_case "native txn unavailable" `Quick test_native_txn_is_none;
+    Alcotest.test_case "history: reordering accepted" `Quick test_history_accepts_reordering;
+    Alcotest.test_case "history: real-time order enforced" `Quick test_history_respects_realtime_order;
+    Alcotest.test_case "history: double insert" `Quick test_history_double_insert;
+    Alcotest.test_case "history: initial state" `Quick test_history_initial_state;
+    Alcotest.test_case "history: sim_run end-to-end" `Quick test_sim_run_history_linearizable;
+    Alcotest.test_case "history: seeded mutation caught" `Quick test_history_catches_seeded_mutation;
+    Alcotest.test_case "trace: ops and accesses recorded" `Quick test_trace_records_ops_and_accesses;
+    Alcotest.test_case "trace: ring wraps at capacity" `Quick test_trace_ring_wraps;
+    Alcotest.test_case "trace: off by default" `Quick test_trace_off_by_default;
+    Alcotest.test_case "trace: dump renders text and json" `Quick test_trace_dump_renders;
+    Alcotest.test_case "results: schema round-trip" `Quick test_results_roundtrip;
+    Alcotest.test_case "results: golden file" `Quick test_results_golden_file;
   ]
