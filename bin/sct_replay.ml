@@ -1,0 +1,53 @@
+(* Replay a serialized SCT counterexample schedule bit-for-bit.
+
+   Usage: sct_replay FILE.json [TIMES]
+
+   Loads the schedule file written by Ascy_harness.Sct_run.save_finding,
+   rebuilds the exact workload (algorithm, platform, thread scripts,
+   prefill), replays the schedule TIMES times (default 2), and checks
+   every replay reproduces the identical violation.  Exit status: 0 when
+   the violation reproduces deterministically, 1 when it does not (or the
+   file is malformed). *)
+
+let () =
+  let path, times =
+    match Sys.argv with
+    | [| _; path |] -> (path, 2)
+    | [| _; path; n |] -> (path, int_of_string n)
+    | _ ->
+        prerr_endline "usage: sct_replay FILE.json [TIMES]";
+        exit 2
+  in
+  match Ascy_harness.Sct_run.replay_file ~times path with
+  | exception Ascy_sct.Replay.Bad_schedule msg ->
+      Printf.eprintf "error: bad schedule file %s: %s\n" path msg;
+      exit 1
+  | spec, expected, results ->
+      Printf.printf "algorithm %s on %s, %d threads, %d scripted ops\n"
+        spec.Ascy_harness.Sct_run.name spec.Ascy_harness.Sct_run.platform.Ascy_platform.Platform.name
+        spec.Ascy_harness.Sct_run.nthreads
+        (Array.fold_left (fun acc ops -> acc + Array.length ops) 0 spec.Ascy_harness.Sct_run.script);
+      (match expected with
+      | Some v -> Printf.printf "recorded violation: %s\n" v
+      | None -> print_endline "recorded violation: (none stored)");
+      List.iteri
+        (fun i r ->
+          Printf.printf "replay %d: %s\n" (i + 1)
+            (match r with Some v -> v | None -> "no violation (!)"))
+        results;
+      let ok =
+        match results with
+        | [] -> false
+        | first :: rest ->
+            first <> None
+            && List.for_all (fun r -> r = first) rest
+            && match expected with Some v -> first = Some v | None -> true
+      in
+      if ok then begin
+        print_endline "verdict: violation reproduces bit-for-bit";
+        exit 0
+      end
+      else begin
+        print_endline "verdict: NOT reproducible";
+        exit 1
+      end

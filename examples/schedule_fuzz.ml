@@ -1,109 +1,87 @@
-(* Deterministic schedule fuzzing: the simulator as a concurrency-bug
-   hunter.
+(* Systematic schedule exploration: the simulator as a bounded model
+   checker.
+
+   This example used to fuzz 200 random seeds and hope an interleaving
+   broke the asynchronized list.  It now drives the SCT engine
+   (Ascy_sct + Ascy_harness.Sct_run): a DFS over the simulator's
+   scheduling decisions, bounded by preemptions, pruned with
+   DPOR-style backtrack points and sleep sets, with every explored
+   schedule checked for crashes, structural damage, set conservation
+   and linearizability.
 
    The asynchronized (sequential) list is deliberately unsafe when
-   shared — that is the paper's whole point.  We fuzz seeds until an
-   interleaving breaks set semantics (a successful insert whose key then
-   cannot be found, or conservation violations), then replay the exact
-   seed twice to show the failure reproduces bit-for-bit.  The same
-   harness run against the lazy list finds nothing.
+   shared — that is the paper's whole point.  SCT finds a violating
+   interleaving deterministically, minimizes it, serializes it to
+   JSON, and replays it bit-for-bit.  The lazy list survives the same
+   bounds exhaustively.
 
    Run with: dune exec examples/schedule_fuzz.exe *)
 
-module Sim = Ascy_mem.Sim
-module P = Ascy_platform.Platform
+module Sct = Ascy_harness.Sct_run
+module Explorer = Ascy_sct.Explorer
+module Scheduler = Ascy_sct.Scheduler
 
-(* Run one seeded schedule; return the number of conservation violations. *)
-let violations (module A : Ascy_core.Set_intf.MAKER) ~seed =
-  let module M = A (Sim.Mem) in
-  Sim.with_sim ~seed ~jitter:3 ~platform:P.xeon20 ~nthreads:4 (fun sim ->
-      let t = M.create ~hint:8 () in
-      let keys = 8 and ops = 60 in
-      let net = Array.make_matrix 4 keys 0 in
-      let body tid () =
-        let rng = Ascy_util.Xorshift.create (seed + (tid * 7919)) in
-        for _ = 1 to ops do
-          let k = Ascy_util.Xorshift.below rng keys in
-          if Ascy_util.Xorshift.below rng 2 = 0 then begin
-            if M.insert t k tid then net.(tid).(k) <- net.(tid).(k) + 1
-          end
-          else if M.remove t k then net.(tid).(k) <- net.(tid).(k) - 1
-        done
-      in
-      ignore (Sim.run sim (Array.init 4 body));
-      let bad = ref 0 in
-      for k = 0 to keys - 1 do
-        let total = Array.fold_left (fun acc row -> acc + row.(k)) 0 net in
-        let present = if M.search t k <> None then 1 else 0 in
-        if total <> present then incr bad
-      done;
-      !bad)
+(* A small adversarial workload: threads race inserts/removes over a
+   handful of keys.  Deterministic per-thread scripts; the engine owns
+   the interleavings. *)
+let spec name =
+  Sct.mk_spec ~name
+    ~initial:[ 2 ]
+    ~script:
+      [|
+        [| (Sct.Insert, 1); (Sct.Remove, 2); (Sct.Insert, 3) |];
+        [| (Sct.Insert, 1); (Sct.Insert, 2); (Sct.Remove, 3) |];
+        [| (Sct.Remove, 1); (Sct.Insert, 2) |];
+      |]
+    ()
 
-let fuzz name maker =
-  let found = ref None in
-  let seed = ref 1 in
-  while !found = None && !seed <= 200 do
-    let bad = violations maker ~seed:!seed in
-    if bad > 0 then found := Some (!seed, bad);
-    incr seed
-  done;
-  match !found with
-  | Some (s, bad) ->
-      Printf.printf "%-12s seed %3d: %d conservation violations (%d schedules explored)\n" name s
-        bad (s);
-      (* determinism: the same seed reproduces the same violation count *)
-      let again = violations maker ~seed:s in
-      Printf.printf "%-12s seed %3d replayed: %d violations — %s\n" name s again
-        (if again = bad then "bit-for-bit reproducible" else "NOT reproducible (bug in the sim!)")
-  | None -> Printf.printf "%-12s no violation in 200 seeded schedules\n" name
+let bounds = Explorer.default_bounds
 
-(* Second hunter: full linearizability checking (Wing & Gong) over the
-   recorded invocation/response history of each seeded schedule.  This
-   subsumes conservation: it also catches wrong return values that
-   happen to conserve the key count. *)
-module H = Ascy_harness.History
-module W = Ascy_harness.Workload
-module R = Ascy_harness.Sim_run
+let file = "SCT_counterexample_ll-async.json"
 
-let lin_violation maker ~seed =
-  let h = H.create () in
-  let wl = W.make ~initial:4 ~update_pct:60 () in
-  ignore (R.run ~seed ~history:h maker ~platform:P.xeon20 ~nthreads:4 ~workload:wl
-            ~ops_per_thread:40 ());
-  match H.check h with Ok () -> None | Error v -> Some v
-
-let fuzz_lin name maker =
-  let found = ref None in
-  let seed = ref 1 in
-  while !found = None && !seed <= 100 do
-    (match lin_violation maker ~seed:!seed with
-    | Some v -> found := Some (!seed, v)
-    | None -> ());
-    incr seed
-  done;
-  match !found with
-  | Some (s, v) ->
-      Printf.printf "%-12s seed %3d: NOT linearizable — %s\n" name s (H.pp_violation v);
-      (* determinism: the same seed reproduces a violation *)
-      let again = lin_violation maker ~seed:s <> None in
-      Printf.printf "%-12s seed %3d replayed: %s\n" name s
-        (if again then "violation reproduces bit-for-bit" else "NOT reproducible (bug in the sim!)")
-  | None -> Printf.printf "%-12s linearizable across 100 seeded schedules\n" name
+let hunt name =
+  Printf.printf "%-12s exploring (DPOR, <=%d preemptions) ...\n%!" name
+    (match bounds.Explorer.preemptions with Some p -> p | None -> max_int);
+  let finding, report = Sct.explore ~mode:Explorer.Dpor ~bounds (spec name) in
+  Printf.printf "%-12s %d schedules, %d decisions%s\n" name report.Explorer.schedules
+    report.Explorer.steps
+    (if report.Explorer.complete then " (schedule space exhausted)" else "");
+  (finding, report)
 
 let () =
-  print_endline "Fuzzing the asynchronized list (expected: races found fast):";
-  fuzz "ll-async" (module Ascy_linkedlist.Seq_list.Make : Ascy_core.Set_intf.MAKER);
-  print_endline "\nFuzzing the lazy list (expected: no violations):";
-  fuzz "ll-lazy" (module Ascy_linkedlist.Lazy_list.Make);
-  print_endline "\nLinearizability checking of recorded histories:";
-  fuzz_lin "ll-async" (module Ascy_linkedlist.Seq_list.Make);
-  fuzz_lin "ll-lazy" (module Ascy_linkedlist.Lazy_list.Make);
-  (* the correct list must be linearizable on every explored schedule *)
-  (match lin_violation (module Ascy_linkedlist.Lazy_list.Make) ~seed:1 with
-  | None -> ()
-  | Some v ->
-      Printf.eprintf "FATAL: lazy list not linearizable: %s\n" (H.pp_violation v);
+  print_endline "Hunting the asynchronized list (expected: a violation, fast):";
+  (match hunt "ll-async" with
+  | Some f, _ ->
+      Printf.printf "ll-async     VIOLATION: %s\n" f.Sct.violation;
+      Printf.printf "ll-async     schedule: %d decisions, minimized to %d (%d context switches)\n"
+        (Array.length f.Sct.schedule) (Array.length f.Sct.minimized)
+        (max 0 (List.length (Scheduler.to_chunks f.Sct.minimized) - 1));
+      Sct.save_finding ~path:file (spec "ll-async") f
+  | None, _ ->
+      prerr_endline "FATAL: SCT failed to break the asynchronized list";
       exit 1);
-  print_endline "\nThis is how the test suite hunts interleaving bugs: every";
-  print_endline "conformance suite replays many seeds, and any failure comes";
-  print_endline "with the seed that reproduces it deterministically."
+  Printf.printf "\nReplaying %s twice (determinism check):\n" file;
+  let _, expected, results = Sct.replay_file ~times:2 file in
+  List.iteri
+    (fun i r ->
+      Printf.printf "replay %d: %s\n" (i + 1)
+        (match r with Some v -> v | None -> "no violation (!)"))
+    results;
+  (match (expected, results) with
+  | Some v, [ Some a; Some b ] when a = v && b = v ->
+      print_endline "counterexample reproduces bit-for-bit"
+  | _ ->
+      prerr_endline "FATAL: counterexample did not reproduce deterministically";
+      exit 1);
+  print_endline "\nExploring the lazy list under the same bounds (expected: clean):";
+  (match hunt "ll-lazy" with
+  | None, report when report.Explorer.complete ->
+      print_endline "ll-lazy      no violation in the entire bounded schedule space"
+  | None, _ -> print_endline "ll-lazy      no violation (budget reached before exhaustion)"
+  | Some f, _ ->
+      Printf.printf "FATAL: lazy list broken?! %s\n" f.Sct.violation;
+      exit 1);
+  print_endline "\nThis is how the test suite hunts interleaving bugs: bounded";
+  print_endline "DPOR exploration instead of seed lotteries, and any failure";
+  print_endline "ships as a schedule file that replays deterministically.";
+  Sys.remove file

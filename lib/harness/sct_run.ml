@@ -1,0 +1,283 @@
+(** Systematic concurrency testing of CSDS implementations: scripted set
+    workloads explored schedule-by-schedule ([Ascy_sct.Explorer]), each
+    run checked against two oracles, failing schedules minimized and
+    serialized for bit-for-bit replay.
+
+    This is the SCT sibling of {!Sim_run}: where [Sim_run] measures one
+    free-running execution, [Sct_run] enumerates bounded interleavings of
+    a small deterministic workload and checks every one of them.
+
+    Oracles, in the order applied after each run:
+    - {e crash}: an exception escaping a simulated thread
+      ([Sim.Thread_failure]) is a violation;
+    - {e structure}: [validate] must pass (ordering/reachability);
+    - {e conservation}: for every key, initial membership plus net
+      successful inserts/removes must equal final membership;
+    - {e linearizability}: the recorded invocation/response history must
+      admit a legal linearization ({!History.check}).
+
+    A step-budget overflow under the (fair) controlled scheduler is also
+    a violation — that is how the sl-pugh livelock class of bug
+    surfaces under SCT. *)
+
+module Sim = Ascy_mem.Sim
+module P = Ascy_platform.Platform
+module J = Ascy_util.Json
+module Explorer = Ascy_sct.Explorer
+module Scheduler = Ascy_sct.Scheduler
+module Replay = Ascy_sct.Replay
+
+type op = Workload.op = Search | Insert | Remove
+
+(** A fully deterministic workload: the algorithm (by registry name),
+    the keys present before the measured run, and one operation script
+    per thread.  Schedules are only reproducible against the identical
+    spec, so the spec is serialized alongside each counterexample. *)
+type spec = {
+  name : string;  (** registry name, e.g. ["ll-lazy"] *)
+  platform : P.t;
+  nthreads : int;
+  initial : int list;
+  script : (op * int) array array;  (** [script.(tid)] = that thread's ops *)
+}
+
+let mk_spec ?(platform = P.xeon20) ~name ~initial ~script () =
+  let nthreads = Array.length script in
+  if nthreads < 1 then invalid_arg "Sct_run.mk_spec: empty script";
+  { name; platform; nthreads; initial; script }
+
+(** Derive a per-thread script from a {!Workload} the same way
+    {!Sim_run} draws operations — per-thread RNGs, schedule-independent
+    — so fuzz-style workloads can be explored systematically. *)
+let script_of_workload ~(workload : Workload.t) ~nthreads ~ops_per_thread ~seed =
+  Array.init nthreads (fun tid ->
+      let rng = Ascy_util.Xorshift.create ((seed * 7919) + (tid * 104729) + 13) in
+      Array.init ops_per_thread (fun _ ->
+          let k = Workload.pick_key workload rng in
+          let op = Workload.pick_op workload rng in
+          (op, k)))
+
+(* Keys a spec can ever touch: initial ∪ scripted. *)
+let keys_of spec =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) spec.initial;
+  Array.iter (Array.iter (fun (_, k) -> Hashtbl.replace tbl k ())) spec.script;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+(** [run_once maker spec ~sched] executes the spec once under [sched]
+    and returns [Some description] iff an oracle rejects the run.
+    Deterministic: the same schedule yields the identical result,
+    including the description string. *)
+let run_once (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
+  let module M = A (Sim.Mem) in
+  (* History timestamps must reflect the *scheduling order*: [Sim.now]
+     is the executing thread's local clock, which tracks global order
+     under the default smallest-clock policy but lags arbitrarily for a
+     descheduled thread under a controlled schedule.  A counter bumped
+     at every scheduling decision is a sound logical clock: a thread
+     reads it only while scheduled, so op A's response strictly precedes
+     op B's invocation iff A's last step ran before B's first. *)
+  let clock = ref 0 in
+  let sched runnable =
+    incr clock;
+    sched runnable
+  in
+  Sim.with_sim ~seed:1 ~platform:spec.platform ~nthreads:spec.nthreads (fun sim ->
+      (* build + prefill outside simulated time, like Sim_run *)
+      let t = M.create ~hint:(max 8 (List.length spec.initial)) () in
+      List.iter (fun k -> ignore (M.insert t k (-1))) spec.initial;
+      Sim.warm sim;
+      let h = History.create () in
+      List.iter (History.add_initial h) spec.initial;
+      let net = Hashtbl.create 32 in
+      let bump k d = Hashtbl.replace net k (d + try Hashtbl.find net k with Not_found -> 0) in
+      let body tid () =
+        Array.iter
+          (fun (op, k) ->
+            let inv = !clock in
+            let ok =
+              match op with
+              | Search -> M.search t k <> None
+              | Insert ->
+                  let r = M.insert t k tid in
+                  if r then bump k 1;
+                  r
+              | Remove ->
+                  let r = M.remove t k in
+                  if r then bump k (-1);
+                  r
+            in
+            let res = !clock in
+            let kind =
+              match op with
+              | Search -> History.Search
+              | Insert -> History.Insert
+              | Remove -> History.Remove
+            in
+            History.record h ~tid ~kind ~key:k ~result:ok ~inv ~res;
+            M.op_done t)
+          spec.script.(tid)
+      in
+      match Sim.run ~scheduler:sched sim (Array.init spec.nthreads body) with
+      | exception Sim.Thread_failure (tid, e, _) ->
+          Some (Printf.sprintf "thread %d crashed: %s" tid (Printexc.to_string e))
+      | _ -> (
+          match M.validate t with
+          | Error msg -> Some (Printf.sprintf "structural invariant broken: %s" msg)
+          | Ok () -> (
+              let bad =
+                List.filter_map
+                  (fun k ->
+                    let wanted =
+                      (if List.mem k spec.initial then 1 else 0)
+                      + (try Hashtbl.find net k with Not_found -> 0)
+                    in
+                    let got = if M.search t k <> None then 1 else 0 in
+                    if wanted <> got then
+                      Some
+                        (Printf.sprintf "key %d: net count %d (initial + successful updates), membership %d"
+                           k wanted got)
+                    else None)
+                  (keys_of spec)
+              in
+              match bad with
+              | _ :: _ ->
+                  Some ("set conservation violated: " ^ String.concat "; " bad)
+              | [] -> (
+                  match History.check h with
+                  | Ok () -> None
+                  | Error v -> Some ("not linearizable: " ^ History.pp_violation v)))))
+
+(* A prefix-replay check with its own step budget, so minimizing or
+   replaying a livelock counterexample cannot itself livelock. *)
+let check_prefix maker spec ~max_steps prefix =
+  let steps = ref 0 in
+  let inner = Scheduler.prefix_scheduler ~prefix () in
+  let sched runnable =
+    incr steps;
+    if !steps > max_steps then raise (Explorer.Step_limit !steps);
+    inner runnable
+  in
+  try run_once maker spec ~sched
+  with Explorer.Step_limit d ->
+    Some (Printf.sprintf "step limit %d exceeded (possible livelock or starvation)" d)
+
+type finding = {
+  violation : string;  (** oracle description from the original failing run *)
+  schedule : int array;  (** full failing decision sequence *)
+  minimized : int array;  (** shrunk prefix; still fails under replay *)
+  min_violation : string;  (** oracle description under the minimized prefix *)
+}
+
+(** [explore ?mode ?bounds spec] systematically explores the spec's
+    schedule space.  On failure the counterexample is minimized; the
+    report carries exploration statistics either way. *)
+let explore ?mode ?(bounds = Explorer.default_bounds) spec =
+  let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
+  let report = Explorer.explore ?mode ~bounds ~run:(fun ~sched -> run_once maker spec ~sched) () in
+  let finding =
+    match report.Explorer.failure with
+    | None -> None
+    | Some f ->
+        let check = check_prefix maker spec ~max_steps:bounds.Explorer.max_steps in
+        let minimized = Replay.minimize ~check f.Explorer.f_schedule in
+        let min_violation =
+          match check minimized with
+          | Some d -> d
+          | None -> assert false (* minimize guarantees the prefix fails *)
+        in
+        Some { violation = f.Explorer.f_desc; schedule = f.Explorer.f_schedule; minimized; min_violation }
+  in
+  (finding, report)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let op_tag = function Search -> "s" | Insert -> "i" | Remove -> "r"
+
+let op_of_tag = function
+  | "s" -> Search
+  | "i" -> Insert
+  | "r" -> Remove
+  | t -> raise (Replay.Bad_schedule ("unknown op tag: " ^ t))
+
+let spec_meta spec =
+  [
+    ("algorithm", J.String spec.name);
+    ("platform", J.String spec.platform.P.name);
+    ("nthreads", J.Int spec.nthreads);
+    ("initial", J.List (List.map (fun k -> J.Int k) spec.initial));
+    ( "script",
+      J.List
+        (Array.to_list
+           (Array.map
+              (fun ops ->
+                J.List
+                  (Array.to_list
+                     (Array.map (fun (op, k) -> J.List [ J.String (op_tag op); J.Int k ]) ops)))
+              spec.script)) );
+  ]
+
+let spec_of_meta meta =
+  let get k =
+    match List.assoc_opt k meta with
+    | Some v -> v
+    | None -> raise (Replay.Bad_schedule ("missing meta field: " ^ k))
+  in
+  let name = match get "algorithm" with J.String s -> s | _ -> raise (Replay.Bad_schedule "algorithm") in
+  let platform =
+    match get "platform" with
+    | J.String s -> P.by_name s
+    | _ -> raise (Replay.Bad_schedule "platform")
+  in
+  let initial =
+    match get "initial" with
+    | J.List ks ->
+        List.map (function J.Int k -> k | _ -> raise (Replay.Bad_schedule "initial")) ks
+    | _ -> raise (Replay.Bad_schedule "initial")
+  in
+  let script =
+    match get "script" with
+    | J.List threads ->
+        Array.of_list
+          (List.map
+             (function
+               | J.List ops ->
+                   Array.of_list
+                     (List.map
+                        (function
+                          | J.List [ J.String tag; J.Int k ] -> (op_of_tag tag, k)
+                          | _ -> raise (Replay.Bad_schedule "script op"))
+                        ops)
+               | _ -> raise (Replay.Bad_schedule "script thread"))
+             threads)
+    | _ -> raise (Replay.Bad_schedule "script")
+  in
+  let nthreads = Array.length script in
+  (match get "nthreads" with
+  | J.Int n when n = nthreads -> ()
+  | _ -> raise (Replay.Bad_schedule "nthreads does not match script"));
+  { name; platform; nthreads; initial; script }
+
+(** Write a self-contained counterexample file: minimized schedule plus
+    everything needed to rebuild the run ({!spec_meta}). *)
+let save_finding ~path spec finding =
+  Replay.save ~path
+    ~meta:(spec_meta spec @ [ ("violation", J.String finding.min_violation) ])
+    ~prefix:finding.minimized ()
+
+(** Load a counterexample file and replay it [times] times; returns the
+    violation description of each replay (all identical when the
+    reproduction is deterministic) and the stored expected violation. *)
+let replay_file ?(times = 2) ?(max_steps = Explorer.default_bounds.Explorer.max_steps) path =
+  let prefix, meta = Replay.load path in
+  let spec = spec_of_meta meta in
+  let expected =
+    match List.assoc_opt "violation" meta with Some (J.String s) -> Some s | _ -> None
+  in
+  let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
+  let results =
+    List.init times (fun _ -> check_prefix maker spec ~max_steps prefix)
+  in
+  (spec, expected, results)

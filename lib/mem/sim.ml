@@ -35,6 +35,36 @@ type pending =
 
 type step = Finished | Blocked
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler abstraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** What a runnable thread will do when next resumed (one-step
+    lookahead).  [A_start] means the thread's body has not run yet, so
+    its first action is unknown; starting a thread performs no shared
+    access and is independent of everything. *)
+type action = A_start | A_access of access_kind * int | A_work of int
+
+(** [dependent a b] — can the order of [a] and [b] (by different
+    threads) affect the memory state or either thread's results?  Two
+    accesses conflict iff they touch the same line and at least one
+    writes; local work and thread starts never conflict.  This is the
+    per-line read/write dependency relation systematic concurrency
+    testing (DPOR) prunes with. *)
+let dependent a b =
+  match (a, b) with
+  | A_access (k1, l1), A_access (k2, l2) -> l1 = l2 && not (k1 = Read && k2 = Read)
+  | _ -> false
+
+(** A controlled scheduler: given the runnable threads (ascending tid)
+    paired with their next actions, return the tid to resume.  Called at
+    every resume-decision point of {!run}; choosing a tid not in the
+    array is an error.  The default (no scheduler) policy resumes the
+    thread with the smallest local clock, which models free-running
+    hardware; a controlled scheduler instead explores or replays a
+    specific interleaving. *)
+type scheduler = (int * action) array -> int
+
 type thread = {
   tid : int;
   core : int;
@@ -571,11 +601,18 @@ end
 
 exception Thread_failure of int * exn * string
 
-(** [run sim bodies] runs one simulated thread per element of [bodies]
-    (length must equal [nthreads]) to completion.  Deterministic for a
-    given seed.  Returns the largest thread clock (the makespan, in
-    cycles). *)
-let run sim bodies =
+(** [run ?scheduler sim bodies] runs one simulated thread per element of
+    [bodies] (length must equal [nthreads]) to completion.  Deterministic
+    for a given seed.  Returns the largest thread clock (the makespan, in
+    cycles).
+
+    Without [scheduler], threads are resumed smallest-clock-first (plus
+    optional jitter folded into access costs) — the free-running hardware
+    model.  With [scheduler], every resume decision is delegated to it:
+    the callback sees each runnable thread's next {!action} and picks the
+    thread to resume, which makes the simulator a controlled concurrency
+    tester (see [Ascy_sct]). *)
+let run ?scheduler sim bodies =
   if Array.length bodies <> sim.nthreads then invalid_arg "Sim.run: wrong number of bodies";
   (match !current with
   | Some s when s != sim -> failwith "Sim.run: a different simulation is installed"
@@ -611,15 +648,12 @@ let run sim bodies =
           | _ -> None);
     }
   in
-  let heap = Heap.create sim.nthreads (fun tid -> sim.threads.(tid).clock) in
   let fresh = Array.map (fun b -> Some b) bodies in
-  for tid = 0 to sim.nthreads - 1 do
-    Heap.push heap tid
-  done;
   sim.live <- sim.nthreads;
   let makespan = ref 0 in
-  while not (Heap.is_empty heap) do
-    let tid = Heap.pop heap in
+  (* Resume [tid]: commit its pending access (charging latency), run it
+     to its next effect, and record completion.  Returns the step kind. *)
+  let exec_step tid =
     let th = sim.threads.(tid) in
     sim.cur <- tid;
     let step =
@@ -648,9 +682,44 @@ let run sim bodies =
         th.finished <- true;
         sim.live <- sim.live - 1;
         if th.clock > !makespan then makespan := th.clock
-    | Blocked -> Heap.push heap tid);
-    sim.cur <- -1
-  done;
+    | Blocked -> ());
+    sim.cur <- -1;
+    step
+  in
+  (match scheduler with
+  | None ->
+      let heap = Heap.create sim.nthreads (fun tid -> sim.threads.(tid).clock) in
+      for tid = 0 to sim.nthreads - 1 do
+        Heap.push heap tid
+      done;
+      while not (Heap.is_empty heap) do
+        let tid = Heap.pop heap in
+        match exec_step tid with Finished -> () | Blocked -> Heap.push heap tid
+      done
+  | Some choose ->
+      let next_action tid =
+        if fresh.(tid) <> None then A_start
+        else
+          match sim.threads.(tid).pend with
+          | P_access (kind, line) -> A_access (kind, line)
+          | P_work n -> A_work n
+          | P_none -> A_start
+      in
+      let scratch = Array.make sim.nthreads (0, A_start) in
+      while sim.live > 0 do
+        let n = ref 0 in
+        for tid = 0 to sim.nthreads - 1 do
+          if not sim.threads.(tid).finished then begin
+            scratch.(!n) <- (tid, next_action tid);
+            incr n
+          end
+        done;
+        let runnable = Array.sub scratch 0 !n in
+        let tid = choose runnable in
+        if tid < 0 || tid >= sim.nthreads || sim.threads.(tid).finished then
+          invalid_arg (Printf.sprintf "Sim.run: scheduler chose non-runnable thread %d" tid);
+        ignore (exec_step tid)
+      done);
   sim.cur <- -1;
   !makespan
 

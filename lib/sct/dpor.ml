@@ -1,0 +1,105 @@
+(** Partial-order-reduction primitives: the dependency relation, sleep
+    sets, and conflict lookup over executed steps.
+
+    Two interleavings that only commute {e independent} steps (different
+    lines, or same line but read/read) reach the same memory state and
+    return the same results, so exploring both is wasted work.  The
+    explorer prunes with the two classic mechanisms:
+
+    - {e backtrack points} (Flanagan & Godefroid DPOR): after a run,
+      for each executed access find the latest earlier step by another
+      thread it conflicts with; the conflicting pair might matter in the
+      other order, so the other thread is scheduled for exploration at
+      the earlier decision point;
+    - {e sleep sets}: a choice fully explored at a node is put to sleep;
+      it stays asleep in the subtrees of the node's later choices until
+      a dependent step wakes it, and sleeping choices are never
+      re-explored.
+
+    The dependency relation is exactly the per-line read/write conflict
+    information the coherence model already tracks
+    ({!Ascy_mem.Sim.dependent}). *)
+
+module Sim = Ascy_mem.Sim
+
+let dependent = Sim.dependent
+
+(* ------------------------------------------------------------------ *)
+(* Sleep sets                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sleep = (int * Sim.action) list
+
+let empty_sleep : sleep = []
+let in_sleep tid (s : sleep) = List.exists (fun (t, _) -> t = tid) s
+
+let add_sleep tid action (s : sleep) : sleep =
+  if in_sleep tid s then s else (tid, action) :: s
+
+(** Taking [action] wakes every sleeping thread whose pending action
+    depends on it (the commutation argument no longer applies). *)
+let wake action (s : sleep) : sleep = List.filter (fun (_, a) -> not (dependent a action)) s
+
+(* ------------------------------------------------------------------ *)
+(* Conflict lookup                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [last_conflict ?skip steps i] — the latest [j < i] whose step was
+    executed by a different thread and conflicts with step [i], skipping
+    steps for which [skip j] holds.  [steps] gives the (tid, performed
+    action) of every executed step. *)
+let last_conflict ?(skip = fun _ -> false) (steps : (int * Sim.action) array) i =
+  let tid_i, a_i = steps.(i) in
+  let rec go j =
+    if j < 0 then None
+    else begin
+      let tid_j, a_j = steps.(j) in
+      if tid_j <> tid_i && (not (skip j)) && dependent a_j a_i then Some j else go (j - 1)
+    end
+  in
+  go (i - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Spin-loop (stutter) reduction                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [stutter_flags steps] marks the no-progress steps of spin loops:
+    step [i] is a {e stutter} when its thread re-reads the line its own
+    previous access read, and nobody wrote that line in between — the
+    read is guaranteed to observe the same value, so the thread made no
+    progress (a TTAS iteration finding the lock still held, a seqlock
+    retry seeing an odd sequence again, ...).
+
+    Stutters are excluded from backtrack-point computation, on both
+    sides: reordering a conflicting write around the k-th spin read is
+    Mazurkiewicz-equivalent (up to spin count, which no oracle observes)
+    to reordering it around the first read of the spin, and that first
+    read is not a stutter, so the representative interleaving is still
+    explored.  Without this reduction every spin iteration against a
+    held lock is a fresh conflict site and DPOR's schedule count grows
+    without bound on lock-based structures (the classic SCT spin-loop
+    problem, cf. CHESS's yield-aware reduction).  Backoff work steps
+    ([A_work]) touch no memory and do not break a spin. *)
+let stutter_flags (steps : (int * Sim.action) array) =
+  let n = Array.length steps in
+  let flags = Array.make n false in
+  (* line -> write version; tid -> (line read, version seen) of the
+     thread's latest access, if it was a read *)
+  let version = Hashtbl.create 64 in
+  let wver l = try Hashtbl.find version l with Not_found -> 0 in
+  let last_read = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let tid, a = steps.(i) in
+    match a with
+    | Sim.A_access (Sim.Read, l) ->
+        let v = wver l in
+        (match Hashtbl.find_opt last_read tid with
+        | Some (l', v') when l' = l && v' = v -> flags.(i) <- true
+        | _ -> ());
+        Hashtbl.replace last_read tid (l, v)
+    | Sim.A_access ((Sim.Write | Sim.Rmw), l) ->
+        Hashtbl.replace version l (wver l + 1);
+        Hashtbl.remove last_read tid
+    | Sim.A_start | Sim.A_work _ -> ()
+  done;
+  flags

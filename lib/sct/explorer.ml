@@ -1,0 +1,259 @@
+(** Systematic schedule exploration: a bounded DFS over the simulator's
+    resume decisions, optionally pruned with DPOR-style backtrack points
+    and sleep sets.
+
+    The explorer is re-execution based: it never snapshots simulator
+    state.  Each iteration runs the program from scratch under a
+    controlled scheduler that follows the choices recorded on the DFS
+    stack and extends them with the default policy
+    ({!Scheduler.default_choice}); the simulator's determinism guarantees
+    the replayed prefix reaches exactly the same decision points.  After
+    each run the deepest stack node with an unexplored alternative is
+    switched and everything below it is discarded.
+
+    Exploration is bounded by:
+    - [preemptions]: schedules may deschedule a runnable thread mid-slice
+      at most this many times (slice-expiry rotations are free — they are
+      the default policy, required for fairness, not exploration);
+    - [delays]: total deviation from the default candidate order (the sum
+      over all decisions of how many better-ranked candidates the choice
+      skipped, cf. delay-bounded scheduling, Emmi et al. POPL'11).  The
+      delay bound must be finite for lock-based structures: continuing a
+      spinning thread past its slice expiry costs no preemption, so with
+      unbounded delays each explored schedule can delay the lock holder
+      by one more spin iteration than the last and the space never
+      closes.  A finite delay bound restores termination: past the
+      budget, the fair rotation forces the holder to run;
+    - [max_steps]: per-run step budget; exceeding it under the (fair)
+      controlled scheduler indicates livelock or starvation and is
+      reported as a failure;
+    - [max_schedules]: total run budget, after which exploration stops
+      and the report is marked incomplete.
+
+    In [Dpor] mode, branching happens only where it can matter: after
+    each run, every executed access is paired with the latest earlier
+    conflicting access by another thread ({!Dpor.last_conflict}), and the
+    later thread is scheduled for exploration at the earlier decision
+    point; choices whose subtrees are fully explored go to sleep and are
+    only woken by dependent steps.  [Naive] mode branches on every
+    runnable thread at every step (within bounds) — exhaustive but
+    exponentially larger; it exists as the ground truth the pruning is
+    validated against.
+
+    Caveat (shared with all bounded DPOR implementations, cf. dejafu's
+    BPOR): with finite bounds, DPOR's backtrack points are computed from
+    in-bound runs only, so the combination is a heuristic — it can miss
+    interleavings a conservative bound-aware analysis would add.  With no
+    bounds set it explores one schedule per Mazurkiewicz trace of every
+    terminating execution. *)
+
+module Sim = Ascy_mem.Sim
+module Vec = Ascy_util.Vec
+
+type mode = Naive | Dpor
+
+type bounds = {
+  preemptions : int option;
+  delays : int option;
+  max_steps : int;
+  max_schedules : int option;
+}
+
+let default_bounds =
+  { preemptions = Some 2; delays = Some 6; max_steps = 50_000; max_schedules = Some 50_000 }
+
+(** Raised by the controlled scheduler when a single run exceeds
+    [bounds.max_steps].  [run] callbacks must let it propagate. *)
+exception Step_limit of int
+
+(* One decision point on the DFS stack.  [prev]/[run_len]/[preempts]/
+   [delays] snapshot the scheduling state *before* the decision, so
+   candidate costs can be recomputed when alternatives are expanded. *)
+type node = {
+  runnable : (int * Sim.action) array;
+  prev : int;
+  run_len : int;
+  preempts : int;
+  delays : int;
+  mutable chosen : int;
+  mutable action : Sim.action;  (* lookahead action of [chosen] = the step performed *)
+  mutable todo : int list;  (* alternatives still to explore *)
+  mutable sleep : Dpor.sleep;
+  mutable explored : int list;  (* choices whose subtrees are done *)
+}
+
+type failure = {
+  f_desc : string;  (** what the oracle reported *)
+  f_schedule : int array;  (** the failing run's full decision sequence *)
+}
+
+type report = {
+  failure : failure option;
+  schedules : int;  (** complete runs executed *)
+  steps : int;  (** decisions taken across all runs *)
+  complete : bool;  (** the whole in-bound schedule space was explored *)
+}
+
+let dummy_node =
+  {
+    runnable = [||];
+    prev = -1;
+    run_len = 0;
+    preempts = 0;
+    delays = 0;
+    chosen = -1;
+    action = Sim.A_start;
+    todo = [];
+    sleep = Dpor.empty_sleep;
+    explored = [];
+  }
+
+(** [explore ?mode ?bounds ~run ()] — [run ~sched] must execute the
+    program under test from scratch inside a fresh simulation driven by
+    [sched], then evaluate its oracle: [None] for a passing run, [Some
+    desc] for a violation.  Exploration stops at the first failure. *)
+let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
+  let stack = Vec.create ~capacity:256 dummy_node in
+  let nsched = ref 0 in
+  let nsteps = ref 0 in
+  let failure = ref None in
+  let complete = ref true in
+  let finished = ref false in
+  let state_of nd = { Scheduler.prev = nd.prev; run_len = nd.run_len } in
+  let in_bounds nd tid =
+    (match bounds.preemptions with
+    | Some p -> nd.preempts + Scheduler.preempt_cost (state_of nd) nd.runnable tid <= p
+    | None -> true)
+    && (match bounds.delays with
+       | Some d -> nd.delays + Scheduler.delay_cost (state_of nd) nd.runnable tid <= d
+       | None -> true)
+  in
+  let current_schedule () = Array.init (Vec.length stack) (fun i -> (Vec.get stack i).chosen) in
+  while not !finished do
+    (* ---- one run: follow the stack's choices, then default policy ---- *)
+    let st = Scheduler.fresh_state () in
+    let depth = ref 0 in
+    let sched runnable =
+      let d = !depth in
+      incr depth;
+      if d >= bounds.max_steps then raise (Step_limit d);
+      let tid =
+        if d < Vec.length stack then (Vec.get stack d).chosen
+        else begin
+          let chosen = Scheduler.default_choice st runnable in
+          let parent = if d = 0 then None else Some (Vec.get stack (d - 1)) in
+          let cost f =
+            match parent with
+            | None -> 0
+            | Some p -> f (state_of p) p.runnable p.chosen
+          in
+          let node =
+            {
+              runnable;
+              prev = st.Scheduler.prev;
+              run_len = st.Scheduler.run_len;
+              preempts =
+                (match parent with None -> 0 | Some p -> p.preempts)
+                + cost Scheduler.preempt_cost;
+              delays =
+                (match parent with None -> 0 | Some p -> p.delays) + cost Scheduler.delay_cost;
+              chosen;
+              action = Scheduler.action_of chosen runnable;
+              todo = [];
+              sleep =
+                (match (mode, parent) with
+                | Dpor, Some p -> Dpor.wake p.action p.sleep
+                | _ -> Dpor.empty_sleep);
+              explored = [];
+            }
+          in
+          (match mode with
+          | Naive ->
+              node.todo <-
+                Array.fold_right
+                  (fun (t, _) acc -> if t <> chosen && in_bounds node t then t :: acc else acc)
+                  runnable []
+          | Dpor -> ());
+          Vec.push stack node;
+          chosen
+        end
+      in
+      Scheduler.note st tid;
+      tid
+    in
+    let desc =
+      try run ~sched
+      with Step_limit d ->
+        Some (Printf.sprintf "step limit %d exceeded (possible livelock or starvation)" d)
+    in
+    incr nsched;
+    nsteps := !nsteps + Vec.length stack;
+    (match desc with
+    | Some d ->
+        failure := Some { f_desc = d; f_schedule = current_schedule () };
+        complete := false;
+        finished := true
+    | None -> (
+        (* ---- DPOR: add backtrack points from this run's conflicts ---- *)
+        (if mode = Dpor then begin
+           let n = Vec.length stack in
+           let steps =
+             Array.init n (fun i ->
+                 let nd = Vec.get stack i in
+                 (nd.chosen, nd.action))
+           in
+           let stutters = Dpor.stutter_flags steps in
+           for i = 1 to n - 1 do
+             let ni = Vec.get stack i in
+             match ni.action with
+             | Sim.A_access _ when not stutters.(i) -> (
+                 match Dpor.last_conflict ~skip:(fun j -> stutters.(j)) steps i with
+                 | Some j ->
+                     let nj = Vec.get stack j in
+                     let p = ni.chosen in
+                     if
+                       p <> nj.chosen
+                       && Scheduler.index_of p nj.runnable >= 0
+                       && (not (List.mem p nj.explored))
+                       && (not (List.mem p nj.todo))
+                       && in_bounds nj p
+                     then nj.todo <- p :: nj.todo
+                 | None -> ())
+             | _ -> ()
+           done
+         end);
+        (match bounds.max_schedules with
+        | Some budget when !nsched >= budget ->
+            complete := false;
+            finished := true
+        | _ -> ());
+        (* ---- backtrack: deepest node with a live alternative ---- *)
+        if not !finished then begin
+          let rec backtrack d =
+            if d < 0 then None
+            else begin
+              let nd = Vec.get stack d in
+              nd.explored <- nd.chosen :: nd.explored;
+              if mode = Dpor then nd.sleep <- Dpor.add_sleep nd.chosen nd.action nd.sleep;
+              let rec pick () =
+                match nd.todo with
+                | [] -> None
+                | t :: rest ->
+                    nd.todo <- rest;
+                    if mode = Dpor && Dpor.in_sleep t nd.sleep then pick () else Some t
+              in
+              match pick () with
+              | Some t ->
+                  nd.chosen <- t;
+                  nd.action <- Scheduler.action_of t nd.runnable;
+                  Vec.truncate stack (d + 1);
+                  Some ()
+              | None -> backtrack (d - 1)
+            end
+          in
+          match backtrack (Vec.length stack - 1) with
+          | Some () -> ()
+          | None -> finished := true (* in-bound space exhausted *)
+        end))
+  done;
+  { failure = !failure; schedules = !nsched; steps = !nsteps; complete = !complete }

@@ -1,0 +1,145 @@
+(** Serializable, replayable schedules.
+
+    A counterexample found by the explorer is just an array of thread
+    ids — one per simulator decision point.  Because the simulator is
+    deterministic, (program, schedule prefix) reproduces a failure
+    bit-for-bit: replaying follows the prefix and continues with the
+    default policy, which is exactly how the explorer ran it.
+
+    The on-disk format (schema version 1) is JSON:
+    {v
+    {
+      "version": 1,
+      "kind": "ascy-sct-schedule",
+      "prefix": [[tid, len], ...],   // run-length encoded decisions
+      "meta": { ... }                // caller-defined replay context
+    }
+    v}
+    [meta] is opaque to this module; [Ascy_harness.Sct_run] stores the
+    algorithm name, platform, thread count, per-thread operation scripts
+    and the violation message there, so a schedule file is a complete,
+    self-contained reproduction recipe. *)
+
+module J = Ascy_util.Json
+
+let schema_version = 1
+let kind = "ascy-sct-schedule"
+
+let to_json ?(meta = []) ~prefix () =
+  J.Obj
+    [
+      ("version", J.Int schema_version);
+      ("kind", J.String kind);
+      ( "prefix",
+        J.List
+          (List.map
+             (fun (tid, len) -> J.List [ J.Int tid; J.Int len ])
+             (Scheduler.to_chunks prefix)) );
+      ("meta", J.Obj meta);
+    ]
+
+exception Bad_schedule of string
+
+let fail msg = raise (Bad_schedule msg)
+
+(** [of_json j] returns the decision prefix and the caller meta object.
+    Raises {!Bad_schedule} on malformed or wrong-version input. *)
+let of_json j =
+  (match J.member "kind" j with
+  | Some (J.String k) when k = kind -> ()
+  | _ -> fail "not an ascy-sct-schedule");
+  (match J.member "version" j with
+  | Some (J.Int v) when v = schema_version -> ()
+  | _ -> fail "unsupported schedule schema version");
+  let prefix =
+    match J.member "prefix" j with
+    | Some (J.List chunks) ->
+        Scheduler.of_chunks
+          (List.map
+             (function
+               | J.List [ J.Int tid; J.Int len ] when tid >= 0 && len >= 0 -> (tid, len)
+               | _ -> fail "malformed prefix chunk")
+             chunks)
+    | _ -> fail "missing prefix"
+  in
+  let meta = match J.member "meta" j with Some (J.Obj kvs) -> kvs | _ -> [] in
+  (prefix, meta)
+
+let save ~path ?meta ~prefix () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~indent:1 (to_json ?meta ~prefix ()));
+      output_string oc "\n")
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      of_json (J.of_string s))
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten the first [k] chunks plus [extra] steps of chunk [k]. *)
+let take chunks k extra =
+  let rec go i acc = function
+    | [] -> List.rev acc
+    | (tid, len) :: rest ->
+        if i < k then go (i + 1) ((tid, len) :: acc) rest
+        else if extra > 0 then List.rev ((tid, min extra len) :: acc)
+        else List.rev acc
+  in
+  Scheduler.of_chunks (go 0 [] chunks)
+
+(** [minimize ~check schedule] shrinks a failing schedule to a short
+    prefix that still fails.  [check prefix] replays [prefix ^ default
+    policy] and returns [Some desc] iff the oracle still reports a
+    violation.  Shrinking is best-effort (the property is not monotone in
+    the prefix): a doubling-then-binary search finds a short failing
+    chunk prefix, the last chunk is trimmed, and a greedy pass drops
+    whole chunks that turn out to be unnecessary.  [check schedule] must
+    fail; the result is guaranteed to fail under [check]. *)
+let minimize ~check (schedule : int array) =
+  if check schedule = None then
+    invalid_arg "Replay.minimize: schedule does not reproduce the failure";
+  let fails p = check p <> None in
+  let chunks = Scheduler.to_chunks schedule in
+  let nch = List.length chunks in
+  (* doubling scan for a failing chunk count *)
+  let rec grow k = if k >= nch then nch else if fails (take chunks k 0) then k else grow (2 * k) in
+  let hi = if fails (take chunks 0 0) then 0 else grow 1 in
+  (* binary refinement below it (quasi-monotone heuristic) *)
+  let lo = ref (hi / 2) and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fails (take chunks mid 0) then hi := mid else lo := mid + 1
+  done;
+  let k = !hi in
+  (* trim the last kept chunk *)
+  let best = ref (take chunks k 0) in
+  if k > 0 then begin
+    let last_len = List.nth chunks (k - 1) |> snd in
+    let lo = ref 1 and hi = ref last_len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fails (take chunks (k - 1) mid) then hi := mid else lo := mid + 1
+    done;
+    if !hi < last_len && fails (take chunks (k - 1) !hi) then best := take chunks (k - 1) !hi
+  end;
+  (* greedy chunk removal (bounded) *)
+  let cur = ref (Scheduler.to_chunks !best) in
+  if List.length !cur <= 64 then begin
+    let i = ref 0 in
+    while !i < List.length !cur do
+      let without = List.filteri (fun j _ -> j <> !i) !cur in
+      if fails (Scheduler.of_chunks without) then cur := without else incr i
+    done
+  end;
+  let result = Scheduler.of_chunks !cur in
+  if fails result then result else !best

@@ -1,0 +1,156 @@
+(** Controlled schedules for systematic concurrency testing.
+
+    A schedule is the sequence of thread ids resumed at each of the
+    simulator's decision points ({!Ascy_mem.Sim.run} with [~scheduler]).
+    This module defines:
+
+    - the {e default policy} every explorer and replayer falls back to
+      beyond its explicit prefix: continue the current thread until its
+      time slice expires, then rotate to the next runnable thread in
+      cyclic tid order.  The slice keeps the policy fair — a thread
+      spinning on a lock is eventually descheduled so the holder can run
+      — while keeping context switches rare enough that preemption
+      bounding is meaningful (slice-expiry rotations are "free": they
+      are the default, not a preemption);
+    - the candidate order at one decision point, which also defines the
+      {e delay} cost of a non-default choice (its index in that order)
+      and the {e preemption} cost (1 for switching away from a runnable
+      thread mid-slice);
+    - prefix schedulers ([follow prefix, then default policy]) and the
+      run-length-encoded chunk form used to serialize schedules. *)
+
+module Sim = Ascy_mem.Sim
+
+(** Steps a thread runs uninterrupted before the default policy rotates
+    to the next runnable thread.  Small enough that spin loops cannot
+    starve the system, large enough that a whole CSDS operation usually
+    fits in one slice. *)
+let time_slice = 50
+
+(** Scheduling state threaded through one execution: the thread resumed
+    at the previous decision and the length of its current run. *)
+type state = { mutable prev : int; mutable run_len : int }
+
+let fresh_state () = { prev = -1; run_len = 0 }
+
+let note st tid =
+  if tid = st.prev then st.run_len <- st.run_len + 1
+  else begin
+    st.prev <- tid;
+    st.run_len <- 1
+  end
+
+let index_of tid (runnable : (int * Sim.action) array) =
+  let n = Array.length runnable in
+  let rec go i = if i >= n then -1 else if fst runnable.(i) = tid then i else go (i + 1) in
+  go 0
+
+let action_of tid runnable =
+  match index_of tid runnable with
+  | -1 -> invalid_arg "Scheduler.action_of: thread not runnable"
+  | i -> snd runnable.(i)
+
+(** The candidate order at one decision point, best (default) first:
+    the previous thread while its slice lasts, then the other runnable
+    threads in cyclic tid order starting after it.  The position of a
+    choice in this list is its delay cost. *)
+let candidate_order st (runnable : (int * Sim.action) array) =
+  let n = Array.length runnable in
+  if n = 0 then []
+  else begin
+    let prev_idx = if st.prev >= 0 then index_of st.prev runnable else -1 in
+    let continue_first = prev_idx >= 0 && st.run_len < time_slice in
+    (* rotation: tids strictly after prev in cyclic order *)
+    let start =
+      if prev_idx >= 0 then (prev_idx + 1) mod n
+      else begin
+        (* no live previous thread: start from the first tid above it *)
+        let rec first i = if i >= n then 0 else if fst runnable.(i) > st.prev then i else first (i + 1) in
+        first 0
+      end
+    in
+    let rest = ref [] in
+    for k = n - 1 downto 0 do
+      let i = (start + k) mod n in
+      if i <> prev_idx then rest := fst runnable.(i) :: !rest
+    done;
+    if prev_idx < 0 then !rest
+    else if continue_first then st.prev :: !rest
+    else !rest @ [ st.prev ]
+  end
+
+let default_choice st runnable =
+  match candidate_order st runnable with
+  | tid :: _ -> tid
+  | [] -> invalid_arg "Scheduler.default_choice: no runnable thread"
+
+(** Preemption cost of resuming [tid]: 1 iff it deschedules a previous
+    thread that is still runnable mid-slice.  Slice-expiry rotations and
+    switches forced by thread completion are free. *)
+let preempt_cost st runnable tid =
+  if st.prev >= 0 && tid <> st.prev && st.run_len < time_slice && index_of st.prev runnable >= 0
+  then 1
+  else 0
+
+(** Delay cost of resuming [tid]: how many better-ranked candidates the
+    choice skips (0 for the default choice). *)
+let delay_cost st runnable tid =
+  let rec go i = function
+    | [] -> invalid_arg "Scheduler.delay_cost: thread not runnable"
+    | t :: _ when t = tid -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 (candidate_order st runnable)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix schedulers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [prefix_scheduler ?on_step ~prefix ()] is a {!Ascy_mem.Sim.scheduler}
+    that follows [prefix] (an array of tids, one per decision point) and
+    then continues with the default policy until the program finishes.
+    [on_step] observes every decision: the step index, the runnable
+    snapshot, and the chosen tid. *)
+let prefix_scheduler ?on_step ~prefix () : Sim.scheduler =
+  let st = fresh_state () in
+  let step = ref 0 in
+  fun runnable ->
+    let k = !step in
+    incr step;
+    let tid = if k < Array.length prefix then prefix.(k) else default_choice st runnable in
+    (match on_step with Some f -> f ~step:k ~runnable ~chosen:tid | None -> ());
+    note st tid;
+    tid
+
+(* ------------------------------------------------------------------ *)
+(* Run-length-encoded schedules                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [(tid, len)] chunks: [to_chunks [|0;0;1;0|] = [(0,2);(1,1);(0,1)]]. *)
+let to_chunks (sched : int array) =
+  let rec go i acc =
+    if i >= Array.length sched then List.rev acc
+    else begin
+      let tid = sched.(i) in
+      let j = ref i in
+      while !j < Array.length sched && sched.(!j) = tid do
+        incr j
+      done;
+      go !j ((tid, !j - i) :: acc)
+    end
+  in
+  go 0 []
+
+let of_chunks chunks =
+  let total = List.fold_left (fun acc (_, len) -> acc + len) 0 chunks in
+  let sched = Array.make total 0 in
+  let i = ref 0 in
+  List.iter
+    (fun (tid, len) ->
+      if len < 0 then invalid_arg "Scheduler.of_chunks: negative length";
+      for _ = 1 to len do
+        sched.(!i) <- tid;
+        incr i
+      done)
+    chunks;
+  sched

@@ -12,6 +12,12 @@ let length t = t.len
 
 let clear t = t.len <- 0
 
+(** [truncate t n] drops every element at index [>= n]; [n] must not
+    exceed the current length.  O(1): slots are kept for reuse. *)
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  t.len <- n
+
 let push t x =
   if t.len = Array.length t.data then begin
     let data = Array.make (2 * t.len) t.dummy in

@@ -1,0 +1,140 @@
+(* Adversarial tests for the linearizability checker itself.
+
+   The SCT oracles lean on [Ascy_harness.History.check]; these tests
+   feed it hand-built histories whose verdicts are known: legal
+   concurrent interleavings it must accept, and classic anomalies —
+   lost updates, stale reads, real-time order violations — it must
+   reject.  Also pins the [Too_large] cap on per-key history size. *)
+
+module H = Ascy_harness.History
+
+(* Build a history from (tid, kind, key, result, inv, res) tuples. *)
+let history ?(initial = []) events =
+  let h = H.create () in
+  List.iter (H.add_initial h) initial;
+  List.iter
+    (fun (tid, kind, key, result, inv, res) -> H.record h ~tid ~kind ~key ~result ~inv ~res)
+    events;
+  h
+
+let accepts msg h = Alcotest.(check bool) msg true (H.linearizable h)
+
+let rejects msg h =
+  match H.check h with
+  | Ok () -> Alcotest.fail (msg ^ ": checker accepted a non-linearizable history")
+  | Error v ->
+      (* violations render with the offending key *)
+      Alcotest.(check bool) "violation message is non-empty" true
+        (String.length (H.pp_violation v) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Histories the checker must accept                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_accept_racing_inserts () =
+  (* two concurrent inserts of the same absent key: exactly one wins *)
+  accepts "racing inserts, one winner"
+    (history
+       [ (0, H.Insert, 1, true, 0, 10); (1, H.Insert, 1, false, 5, 15) ])
+
+let test_accept_overlapping_remove_pair () =
+  (* remove->false may linearize before the concurrent remove->true
+     finishes only if their windows overlap *)
+  accepts "overlapping removes commute"
+    (history ~initial:[ 1 ]
+       [ (0, H.Remove, 1, true, 0, 30); (1, H.Remove, 1, false, 5, 25) ])
+
+let test_accept_disjoint_keys () =
+  accepts "independent keys check independently"
+    (history ~initial:[ 2 ]
+       [
+         (0, H.Insert, 1, true, 0, 10);
+         (1, H.Remove, 2, true, 0, 12);
+         (0, H.Search, 1, true, 12, 20);
+         (1, H.Insert, 2, true, 14, 22);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Histories the checker must reject                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_reject_double_insert () =
+  (* sequential double insert of the same key both succeeding = lost
+     state: the second must observe the first *)
+  rejects "double successful insert"
+    (history [ (0, H.Insert, 1, true, 0, 10); (1, H.Insert, 1, true, 20, 30) ])
+
+let test_reject_double_remove () =
+  rejects "double successful remove of a single key"
+    (history ~initial:[ 1 ]
+       [ (0, H.Remove, 1, true, 0, 10); (1, H.Remove, 1, true, 20, 30) ])
+
+let test_reject_phantom_search () =
+  rejects "search finds a key never inserted"
+    (history [ (0, H.Search, 7, true, 0, 5) ])
+
+let test_reject_stale_search () =
+  rejects "search misses a stably present key"
+    (history ~initial:[ 7 ] [ (0, H.Search, 7, false, 0, 5) ])
+
+let test_reject_real_time_order () =
+  (* remove->false completes strictly before remove->true starts: with
+     the key initially present there is no legal order (this is the
+     anomaly a per-thread clock would smuggle past the checker) *)
+  rejects "non-overlapping results contradict real-time order"
+    (history ~initial:[ 1 ]
+       [ (1, H.Remove, 1, false, 0, 10); (0, H.Remove, 1, true, 20, 30) ])
+
+let test_reject_lost_update () =
+  (* the seq-list SCT counterexample shape: two inserts both succeed,
+     then a search proves one vanished *)
+  rejects "lost update surfaces through a later search"
+    (history
+       [
+         (0, H.Insert, 1, true, 0, 10);
+         (1, H.Insert, 1, true, 12, 22);
+         (0, H.Search, 1, false, 30, 35);
+       ])
+
+let test_reject_one_bad_key_among_good () =
+  rejects "a single bad key fails the whole history"
+    (history ~initial:[ 2 ]
+       [
+         (0, H.Insert, 1, true, 0, 10);
+         (1, H.Search, 2, true, 0, 8);
+         (0, H.Search, 9, true, 12, 20);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Capacity cap                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_too_large () =
+  let h = H.create () in
+  for i = 0 to 62 do
+    H.record h ~tid:0 ~kind:H.Search ~key:1 ~result:false ~inv:(2 * i) ~res:((2 * i) + 1)
+  done;
+  Alcotest.check_raises "per-key cap enforced" (H.Too_large 63) (fun () -> ignore (H.check h))
+
+let test_under_cap_still_checked () =
+  let h = H.create () in
+  for i = 0 to 61 do
+    H.record h ~tid:0 ~kind:H.Search ~key:1 ~result:false ~inv:(2 * i) ~res:((2 * i) + 1)
+  done;
+  Alcotest.(check bool) "62 ops per key still checked" true (H.linearizable h)
+
+let suite =
+  [
+    Alcotest.test_case "accept: racing inserts" `Quick test_accept_racing_inserts;
+    Alcotest.test_case "accept: overlapping removes" `Quick test_accept_overlapping_remove_pair;
+    Alcotest.test_case "accept: disjoint keys" `Quick test_accept_disjoint_keys;
+    Alcotest.test_case "reject: double insert" `Quick test_reject_double_insert;
+    Alcotest.test_case "reject: double remove" `Quick test_reject_double_remove;
+    Alcotest.test_case "reject: phantom search" `Quick test_reject_phantom_search;
+    Alcotest.test_case "reject: stale search" `Quick test_reject_stale_search;
+    Alcotest.test_case "reject: real-time order violation" `Quick test_reject_real_time_order;
+    Alcotest.test_case "reject: lost update" `Quick test_reject_lost_update;
+    Alcotest.test_case "reject: one bad key among good" `Quick test_reject_one_bad_key_among_good;
+    Alcotest.test_case "too-large history raises" `Quick test_too_large;
+    Alcotest.test_case "62-op history still checked" `Quick test_under_cap_still_checked;
+  ]

@@ -213,6 +213,116 @@ let test_ticket_pair_exclusion () =
       ignore (Sim.run sim (Array.init 6 body));
       Alcotest.(check int) "no lost updates under pair lock" (6 * per) (SMem.get cell))
 
+(* ---- Systematic exploration: exclusion/handoff on every schedule ---- *)
+
+module Explorer = Ascy_sct.Explorer
+
+let sct_bounds =
+  {
+    Explorer.preemptions = Some 2;
+    delays = Some 4;
+    max_steps = 50_000;
+    max_schedules = Some 20_000;
+  }
+
+(* Mutual exclusion and handoff under SCT: explore *every* bounded
+   interleaving of two threads taking the lock twice each.  Exclusion is
+   tracked with a plain OCaml counter — the scheduler can only switch
+   threads at simulated memory accesses, so a second thread inside the
+   section is observed exactly.  Handoff is the run terminating at all:
+   a release that failed to wake the waiter would spin past the step
+   budget and be reported as a livelock.  The exploration must exhaust
+   its bounds — a "pass" that only sampled the space proves nothing. *)
+let sct_exclusion ~acquire ~release ~mk () =
+  let nthreads = 2 and per = 2 in
+  let run ~sched =
+    Sim.with_sim ~seed:1 ~platform:P.xeon20 ~nthreads (fun sim ->
+        let lock = mk () in
+        let cell = SMem.make_fresh 0 in
+        let inside = ref 0 in
+        let overlap = ref false in
+        let body _ () =
+          for _ = 1 to per do
+            let h = acquire lock in
+            incr inside;
+            if !inside > 1 then overlap := true;
+            let v = SMem.get cell in
+            SMem.work 3;
+            SMem.set cell (v + 1);
+            decr inside;
+            release lock h
+          done
+        in
+        match Sim.run ~scheduler:sched sim (Array.init nthreads body) with
+        | exception Sim.Thread_failure (tid, e, _) ->
+            Some (Printf.sprintf "thread %d crashed: %s" tid (Printexc.to_string e))
+        | _ ->
+            if !overlap then Some "two threads inside the critical section"
+            else if SMem.get cell <> nthreads * per then
+              Some
+                (Printf.sprintf "lost updates under lock: %d of %d" (SMem.get cell)
+                   (nthreads * per))
+            else None)
+  in
+  let r = Explorer.explore ~mode:Explorer.Dpor ~bounds:sct_bounds ~run () in
+  (match r.Explorer.failure with Some f -> Alcotest.fail f.Explorer.f_desc | None -> ());
+  Alcotest.(check bool) "bounded schedule space exhausted" true r.Explorer.complete
+
+let test_sct_ttas =
+  sct_exclusion ~acquire:(fun l -> Ttas_s.acquire l) ~release:(fun l () -> Ttas_s.release l)
+    ~mk:Ttas_s.create_fresh
+
+let test_sct_ticket =
+  sct_exclusion
+    ~acquire:(fun l -> Ticket_s.acquire l)
+    ~release:(fun l () -> Ticket_s.release l)
+    ~mk:Ticket_s.create_fresh
+
+let test_sct_mcs =
+  sct_exclusion ~acquire:Mcs_s.acquire ~release:Mcs_s.release ~mk:Mcs_s.create_fresh
+
+let test_sct_rw_writers =
+  sct_exclusion
+    ~acquire:(fun l -> Rw_s.write_acquire l)
+    ~release:(fun l () -> Rw_s.write_release l)
+    ~mk:Rw_s.create_fresh
+
+(* Seqlock: a writer keeps a = b; on every bounded interleaving the
+   reader's snapshot must be consistent (the retry protocol is what is
+   under test, so the reader does not lock). *)
+let test_sct_seqlock () =
+  let run ~sched =
+    Sim.with_sim ~seed:1 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+        let l = Seq_s.create_fresh () in
+        let a = SMem.make_fresh 0 and b = SMem.make_fresh 0 in
+        let torn = ref None in
+        let writer () =
+          for i = 1 to 2 do
+            ignore (Seq_s.write_acquire l);
+            SMem.set a i;
+            SMem.work 3;
+            SMem.set b i;
+            Seq_s.write_release l
+          done
+        in
+        let reader () =
+          for _ = 1 to 2 do
+            let x, y = Seq_s.read l (fun () -> (SMem.get a, SMem.get b)) in
+            if x <> y then torn := Some (x, y)
+          done
+        in
+        match Sim.run ~scheduler:sched sim [| writer; reader |] with
+        | exception Sim.Thread_failure (tid, e, _) ->
+            Some (Printf.sprintf "thread %d crashed: %s" tid (Printexc.to_string e))
+        | _ -> (
+            match !torn with
+            | Some (x, y) -> Some (Printf.sprintf "torn seqlock read: (%d, %d)" x y)
+            | None -> None))
+  in
+  let r = Explorer.explore ~mode:Explorer.Dpor ~bounds:sct_bounds ~run () in
+  (match r.Explorer.failure with Some f -> Alcotest.fail f.Explorer.f_desc | None -> ());
+  Alcotest.(check bool) "bounded schedule space exhausted" true r.Explorer.complete
+
 (* Native (real domains) exclusion for the two workhorse locks. *)
 module Ttas_n = Ascy_locks.Ttas.Make (Ascy_mem.Mem_native)
 module Ticket_n = Ascy_locks.Ticket.Make (Ascy_mem.Mem_native)
@@ -247,6 +357,11 @@ let suite =
     Alcotest.test_case "mcs uncontended" `Quick test_mcs_uncontended;
     Alcotest.test_case "ticket-pair semantics" `Quick test_ticket_pair_semantics;
     Alcotest.test_case "ticket-pair exclusion (sim)" `Quick test_ticket_pair_exclusion;
+    Alcotest.test_case "ttas exclusion (SCT, exhaustive)" `Quick test_sct_ttas;
+    Alcotest.test_case "ticket exclusion (SCT, exhaustive)" `Quick test_sct_ticket;
+    Alcotest.test_case "mcs exclusion (SCT, exhaustive)" `Quick test_sct_mcs;
+    Alcotest.test_case "rwlock writer exclusion (SCT, exhaustive)" `Quick test_sct_rw_writers;
+    Alcotest.test_case "seqlock snapshot consistency (SCT, exhaustive)" `Quick test_sct_seqlock;
     Alcotest.test_case "ttas exclusion (domains)" `Slow
       (native_exclusion Ttas_n.acquire Ttas_n.release Ttas_n.create_fresh);
     Alcotest.test_case "ticket exclusion (domains)" `Slow

@@ -7,6 +7,12 @@ let () =
       ("ssmem+rcu", Test_ssmem.suite);
     ]
     @ Test_linkedlist.suites @ Test_hashtable.suites @ Test_skiplist.suites @ Test_bst.suites
-    @ [ ("registry", Test_registry.suite); ("harness", Test_harness.suite); ("internals", Test_internals.suite) ]
+    @ [
+        ("registry", Test_registry.suite);
+        ("harness", Test_harness.suite);
+        ("history", Test_history.suite);
+        ("sct", Test_sct.suite);
+        ("internals", Test_internals.suite);
+      ]
   in
   Alcotest.run "ascylib" suites
