@@ -14,12 +14,19 @@ type entry = {
   sync : sync;
   ascy : compliance;
   asynchronized : bool;  (** sequential upper bound — incorrect if shared *)
+  progress : progress;
+      (** declared crash-tolerance (Table 1): does a thread crash-stopped
+          mid-operation block the others?  Checked against observed
+          behavior by the chaos sweep ([Ascy_harness.Fault_run]). *)
   desc : string;
   maker : (module Ascy_core.Set_intf.MAKER);
 }
 
-let e name family sync ascy ?(asynchronized = false) desc maker =
-  { name; family; sync; ascy; asynchronized; desc; maker }
+let e name family sync ascy ?(asynchronized = false) ?progress desc maker =
+  let progress =
+    match progress with Some p -> p | None -> progress_of_sync sync
+  in
+  { name; family; sync; ascy; asynchronized; progress; desc; maker }
 
 let c a1 a2 a3 a4 = { a1; a2; a3; a4 }
 

@@ -34,14 +34,25 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   and 'v op =
     | Clean
-    | Dead (* frozen for splicing; terminal unless the splice aborts *)
+    | Dead (* spliced out (unlinked): terminal *)
     | ChildCAS of 'v ccas
+    | Splice of 'v splice
+        (* frozen for splicing — a full operation record, so any thread
+           that encounters it (the owner may have crash-stopped) can
+           finish or abort the splice instead of spinning behind it *)
 
   and 'v ccas = {
     cell : 'v node Mem.r;
     expected : 'v node;
     update : 'v node;
     outcome : int Mem.r; (* 0 pending / 1 success / 2 failure *)
+  }
+
+  and 'v splice = {
+    s_parent : 'v info;
+    s_cell : 'v node Mem.r; (* parent cell observed to hold the node *)
+    s_expected : 'v node; (* the stored [Node n] block in that cell *)
+    s_state : int Mem.r; (* 0 undecided / 1 commit / 2 abort *)
   }
 
   type 'v t = { root : 'v info; ssmem : S.t }
@@ -77,15 +88,21 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     (* release against the stored ChildCAS block [u] (physical CAS) *)
     ignore (Mem.cas owner.op u Clean)
 
-  let help (owner : 'v info) (u : 'v op) =
+  (* help / execute / resolve are mutually recursive: completing a
+     splice claims the parent, which may require helping the parent's
+     own pending operation first. *)
+  let rec help (owner : 'v info) (u : 'v op) =
     match u with
     | ChildCAS c ->
         Mem.emit E.help;
         perform owner u c
+    | Splice s ->
+        Mem.emit E.help;
+        ignore (resolve owner u s)
     | Clean | Dead -> ()
 
   (* Claim [owner] and run [c]; true iff the child CAS took effect. *)
-  let rec execute (owner : 'v info) (c : 'v ccas) =
+  and execute (owner : 'v info) (c : 'v ccas) =
     match Mem.get owner.op with
     | Clean ->
         let u = ChildCAS c in
@@ -97,17 +114,61 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
           Mem.emit E.cas_fail;
           execute owner c
         end
-    | ChildCAS _ as u ->
+    | (ChildCAS _ | Splice _) as u ->
         help owner u;
         execute owner c
-    | Dead -> false (* owner is being spliced out *)
+    | Dead -> false (* owner is (terminally) spliced *)
+
+  (* Complete or abort a splice frozen into [n.op].  Callable by any
+     thread — the freezing thread may have crash-stopped — and
+     idempotent: the [s_state] CAS decides once, every helper then acts
+     on the decided state.  While the record is installed [n]'s children
+     are frozen (child mutations claim [n.op]), so the decision and the
+     only-child read are stable; [n.value] only ever transitions
+     [Some _ -> None], so a commit decision cannot be invalidated.
+     Returns true iff the caller both won the terminal transition and
+     saw the unlink land — the owner of the deferred free. *)
+  and resolve (n : 'v info) (u : 'v op) (s : 'v splice) =
+    if Mem.get s.s_state = 0 then
+      (match (Mem.get n.left, Mem.get n.right) with
+      | Node _, Node _ -> ignore (Mem.cas s.s_state 0 2) (* gained a 2nd child *)
+      | _ ->
+          if Mem.get n.value <> None then ignore (Mem.cas s.s_state 0 2)
+          else ignore (Mem.cas s.s_state 0 1));
+    match Mem.get s.s_state with
+    | 2 ->
+        ignore (Mem.cas n.op u Clean);
+        false
+    | _ ->
+        (* commit: unlink [n] via its parent's op protocol.  [only] and
+           the expected block come from frozen cells, so every helper
+           submits the identical transition and the cell moves
+           [s_expected -> only] at most once. *)
+        let only = match (Mem.get n.left, Mem.get n.right) with Nil, r -> r | l, _ -> l in
+        let c =
+          { cell = s.s_cell; expected = s.s_expected; update = only; outcome = Mem.make_fresh 0 }
+        in
+        if execute s.s_parent c then
+          (* unlinked: [Dead] is terminal, and winning the transition
+             confers ownership of the deferred free *)
+          Mem.cas n.op u Dead
+        else begin
+          (* the recorded parent went stale (or is itself dead) before
+             the unlink landed: release the freeze instead of marking
+             [Dead] — the node stays a linked routing tombstone (same as
+             any skipped physical cleanup) and nobody blocks behind it.
+             Keeping [Dead => unlinked] is what rules out reachable dead
+             nodes, which would wedge inserts routed into them. *)
+          ignore (Mem.cas n.op u Clean);
+          false
+        end
 
   (* Descent that helps pending operations it encounters. *)
   let descend t k ~helping =
     let rec go (p : 'v info) (n : 'v info) =
       (if helping then
          match Mem.get n.op with
-         | ChildCAS _ as u -> help n u
+         | (ChildCAS _ | Splice _) as u -> help n u
          | Clean | Dead -> ());
       if n.key = k && Mem.get n.value <> None then `Found (p, n)
       else
@@ -124,40 +185,51 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     | `Found (_, n) -> Mem.get n.value
     | `Missing _ -> None
 
-  (* Try to splice tombstone [n] (child of [p], <= 1 child) out. *)
+  (* Try to splice tombstone [n] (child of [p], <= 1 child) out.  The
+     freeze installs a full [Splice] record — never a bare state only
+     its owner could undo — so if this thread crash-stops mid-splice any
+     later traverser helps the operation to completion via [resolve]. *)
   let try_splice t (p : 'v info) (n : 'v info) =
     if n != t.root then begin
-      (* freeze n so its children cannot change under the splice *)
-      match Mem.get n.op with
-      | Clean when Mem.cas n.op Clean Dead -> (
-          match (Mem.get n.left, Mem.get n.right) with
-          | Node _, Node _ ->
-              (* gained a second child: abort the freeze *)
-              ignore (Mem.cas n.op Dead Clean)
-          | (Nil, only | only, Nil) ->
-              if Mem.get n.value <> None then ignore (Mem.cas n.op Dead Clean)
-              else begin
-                let cell =
-                  match Mem.get p.left with Node m when m == n -> p.left | _ -> p.right
-                in
-                (* the expected value must be the stored block, not a
-                   fresh [Node n] wrapper *)
-                match Mem.get cell with
-                | Node m as stored when m == n ->
-                    let c = { cell; expected = stored; update = only; outcome = Mem.make_fresh 0 } in
-                    if execute p c then S.free t.ssmem n
-                    else ignore (Mem.cas n.op Dead Clean)
-                | _ -> ignore (Mem.cas n.op Dead Clean) (* p is stale *)
-              end)
-      | _ -> ()
+      let cell = match Mem.get p.left with Node m when m == n -> p.left | _ -> p.right in
+      match Mem.get cell with
+      | Node m as stored when m == n -> (
+          (* the expected value must be the stored block, not a fresh
+             [Node n] wrapper *)
+          let s = { s_parent = p; s_cell = cell; s_expected = stored; s_state = Mem.make_fresh 0 } in
+          let u = Splice s in
+          match Mem.get n.op with
+          | Clean ->
+              if Mem.cas n.op Clean u then
+                if resolve n u s then S.free t.ssmem n
+          | _ -> () (* busy: the pending op's helpers will get to it *))
+      | _ -> () (* p is stale *)
     end
+
+  (* [Dead] implies unlinked, so a descent that lands on a dead node
+     raced the splice (it read the child cell before the unlink).  The
+     retry's fresh descent routes past it; this belt-and-braces unlink
+     through the *current* parent additionally guarantees progress if a
+     dead node were ever still linked — an insert routed into one would
+     otherwise restart forever. *)
+  let unlink_dead (p : 'v info) (n : 'v info) =
+    let only = match (Mem.get n.left, Mem.get n.right) with Nil, r -> r | l, _ -> l in
+    let splice cell stored =
+      ignore (execute p { cell; expected = stored; update = only; outcome = Mem.make_fresh 0 })
+    in
+    match Mem.get p.left with
+    | Node m as stored when m == n -> splice p.left stored
+    | _ -> (
+        match Mem.get p.right with
+        | Node m as stored when m == n -> splice p.right stored
+        | _ -> () (* already unlinked, or p went stale too *))
 
   let insert t k v =
     let rec attempt () =
       Mem.emit E.parse;
       match descend t k ~helping:true with
       | `Found _ -> false
-      | `Missing (_, n) ->
+      | `Missing (p, n) ->
           let cell = child n k in
           let c =
             {
@@ -169,6 +241,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
           in
           if execute n c then true
           else begin
+            (match Mem.get n.op with Dead -> unlink_dead p n | _ -> ());
             Mem.emit E.restart;
             attempt ()
           end

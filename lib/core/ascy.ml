@@ -35,6 +35,23 @@ let sync_to_string = function
   | Lock_based -> "lb"
   | Lock_free -> "lf"
 
+(** Progress guarantee — the practical meaning of Table 1's "type"
+    column.  A [Non_blocking] structure tolerates a thread crash-stopped
+    mid-operation: every other thread still completes.  A [Blocking] one
+    can be wedged forever behind the corpse (it died holding a lock).
+    Sequential (asynchronized) algorithms hold no locks, so a corpse
+    blocks nobody — they are [Non_blocking] here even though sharing
+    them is incorrect for other reasons. *)
+type progress = Blocking | Non_blocking
+
+let progress_to_string = function
+  | Blocking -> "blocking"
+  | Non_blocking -> "non-blocking"
+
+let progress_of_sync = function
+  | Sequential | Lock_free -> Non_blocking
+  | Fully_lock_based | Lock_based -> Blocking
+
 (** Data-structure families studied by the paper. *)
 type family = Linked_list | Hash_table | Skip_list | Bst
 

@@ -9,7 +9,9 @@
 
     Oracles, in the order applied after each run:
     - {e crash}: an exception escaping a simulated thread
-      ([Sim.Thread_failure]) is a violation;
+      ([Sim.Thread_failure]) is a violation — unless the exception is
+      [Sim.Thread_killed], the tag carried by injected crash faults,
+      which marks deliberate fault-induced termination, not a bug;
     - {e structure}: [validate] must pass (ordering/reachability);
     - {e conservation}: for every key, initial membership plus net
       successful inserts/removes must equal final membership;
@@ -68,7 +70,7 @@ let keys_of spec =
     and returns [Some description] iff an oracle rejects the run.
     Deterministic: the same schedule yields the identical result,
     including the description string. *)
-let run_once (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
+let run_once ?(faults = []) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
   let module M = A (Sim.Mem) in
   (* History timestamps must reflect the *scheduling order*: [Sim.now]
      is the executing thread's local clock, which tracks global order
@@ -118,7 +120,11 @@ let run_once (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
             M.op_done t)
           spec.script.(tid)
       in
-      match Sim.run ~scheduler:sched sim (Array.init spec.nthreads body) with
+      match Sim.run ~scheduler:sched ~faults sim (Array.init spec.nthreads body) with
+      | exception Sim.Thread_failure (_, Sim.Thread_killed, _) ->
+          (* fault-induced termination that resurfaced through wrapping
+             test code: deliberate, not a bug *)
+          None
       | exception Sim.Thread_failure (tid, e, _) ->
           Some (Printf.sprintf "thread %d crashed: %s" tid (Printexc.to_string e))
       | _ -> (
@@ -271,7 +277,9 @@ let save_finding ~path spec finding =
     violation description of each replay (all identical when the
     reproduction is deterministic) and the stored expected violation. *)
 let replay_file ?(times = 2) ?(max_steps = Explorer.default_bounds.Explorer.max_steps) path =
-  let prefix, meta = Replay.load path in
+  let prefix, faults, meta = Replay.load path in
+  if faults <> [] then
+    raise (Replay.Bad_schedule "schedule carries a fault plan: replay it with Fault_run");
   let spec = spec_of_meta meta in
   let expected =
     match List.assoc_opt "violation" meta with Some (J.String s) -> Some s | _ -> None

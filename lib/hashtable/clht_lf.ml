@@ -11,10 +11,17 @@
       key/value into the slot it now owns, re-scans the bucket chain for
       a concurrent duplicate, then publishes with a CAS to valid.  If the
       scan finds the key valid elsewhere the claim is rolled back and the
-      insert fails; if it finds a concurrent {e inserting} duplicate both
-      racers roll back and retry (at least one of any racing pair is
-      guaranteed to see the other, because each writes its key before
-      scanning).
+      insert fails; if it finds a concurrent {e inserting} duplicate the
+      racer {e help-aborts} it (CAS the peer's slot back to invalid) and
+      rescans (at least one of any racing pair is guaranteed to see the
+      other, because each writes its key before scanning).  Help-abort
+      rather than symmetric self-rollback matters for crash tolerance: a
+      thread that dies between claiming a slot and publishing leaves an
+      [inserting] claim behind forever, and deferring to it would turn a
+      lock-free insert into a blocking one.  The flip side is that a
+      commit must verify its own claim is still [inserting] — a racer may
+      have aborted it — so both commit and rollback go through the
+      guarded {!resolve}, never a blind state overwrite.
 
     Searches are snapshot-based and store-free (ASCY1); failed updates
     are read-only (ASCY3). *)
@@ -90,13 +97,19 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     in
     scan (head t k)
 
-  (* CAS-loop to change the state of a slot we own (other bits move under
-     us as neighbours claim/release their slots). *)
-  let rec force_state b i st =
+  (* Move slot [i] of [b] from [st_inserting] to [st].  Guarded, never
+     blind: the claim may have been help-aborted by a racing inserter (it
+     is not ours any more) or may belong to a racer we are aborting and
+     that just committed — in both cases overwriting the state would
+     corrupt the bucket.  Returns [false] iff the slot is no longer
+     [st_inserting]; CAS failures on unrelated bits retry. *)
+  let rec resolve b i st =
     let s = Mem.get b.snap in
-    if not (Mem.cas b.snap s (with_state s i st)) then begin
+    if state_of s i <> st_inserting then false
+    else if Mem.cas b.snap s (with_state s i st) then true
+    else begin
       Mem.emit E.cas_fail;
-      force_state b i st
+      resolve b i st
     end
 
   (* Claim an invalid slot anywhere in the chain (appending a bucket when
@@ -135,48 +148,59 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   (* Scan the chain for another slot holding [k]; [mine] identifies our
      claimed slot.  Detects both committed duplicates and races. *)
   let conflict t k ~mine =
-    let my_b, my_i, my_pos = mine in
-    let rec scan b pos =
+    let my_b, my_i = mine in
+    let rec scan b =
       let rec slot i =
         if i = entries then
-          match Mem.get b.next with Some nb -> scan nb (pos + 1) | None -> `None
+          match Mem.get b.next with Some nb -> scan nb | None -> `None
         else if b == my_b && i = my_i then slot (i + 1)
         else begin
           let s = Mem.get b.snap in
           let st = state_of s i in
           if (st = st_valid || st = st_inserting) && Mem.get b.keys.(i) = k then
             if st = st_valid then `Valid
-            else `Racing (pos, i, my_pos, my_i)
+            else `Racing (b, i)
           else slot (i + 1)
         end
       in
       match slot 0 with `None -> `None | r -> r
     in
-    scan (head t k) 0
+    scan (head t k)
 
   let insert t k v =
     if search t k <> None then false (* ASCY3 *)
     else begin
       let bo = B.create () in
       let rec attempt () =
-        let b, i, pos = claim (head t k) 0 in
+        let b, i, _pos = claim (head t k) 0 in
         (* we own the slot: publish value then key, then scan, then commit *)
         Mem.set b.vals.(i) (Some v);
         Mem.set b.keys.(i) k;
-        match conflict t k ~mine:(b, i, pos) with
-        | `None ->
-            force_state b i st_valid;
-            true
-        | `Valid ->
-            force_state b i st_invalid;
-            false
-        | `Racing _ ->
-            (* symmetric rollback: at least one of any racing pair sees the
-               other, so no duplicate can commit; retry after backoff *)
-            force_state b i st_invalid;
-            Mem.emit E.restart;
-            B.once bo;
-            attempt ()
+        let rec settle () =
+          match conflict t k ~mine:(b, i) with
+          | `None ->
+              if resolve b i st_valid then true
+              else begin
+                (* a racer help-aborted our claim before we committed:
+                   the slot is theirs to recycle now, start over *)
+                Mem.emit E.restart;
+                B.once bo;
+                attempt ()
+              end
+          | `Valid ->
+              ignore (resolve b i st_invalid);
+              false
+          | `Racing (ob, oi) ->
+              (* help-abort the racing claim instead of deferring to it:
+                 its owner may be crash-stopped mid-insert, and waiting
+                 on (or symmetric-rollback racing with) a corpse would
+                 block forever.  If the CAS finds the slot no longer
+                 inserting the racer resolved itself; rescan either way. *)
+              ignore (resolve ob oi st_invalid);
+              Mem.emit E.restart;
+              settle ()
+        in
+        settle ()
       in
       attempt ()
     end

@@ -4,9 +4,9 @@
     interconnect; every CSDS lock in ASCYLIB-OCaml spins through this. *)
 
 module Make (Mem : Ascy_mem.Memory.S) = struct
-  type t = { mutable cur : int; max : int }
+  type t = { mutable cur : int; init : int; max : int }
 
-  let create ?(init = 2) ?(max = 512) () = { cur = init; max }
+  let create ?(init = 2) ?(max = 512) () = { cur = init; init; max }
 
   (** Spin for the current delay and double it (up to the bound). *)
   let once t =
@@ -15,5 +15,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     done;
     if t.cur < t.max then t.cur <- t.cur * 2
 
-  let reset ?(init = 2) t = t.cur <- init
+  (** Return to the delay the instance was created with (or an explicit
+      override). *)
+  let reset ?init t = t.cur <- (match init with Some i -> i | None -> t.init)
 end

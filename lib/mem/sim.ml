@@ -65,6 +65,44 @@ let dependent a b =
     specific interleaving. *)
 type scheduler = (int * action) array -> int
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Injectable faults.  Faults are placed at {e decision points} — the
+    same coordinate system controlled schedules use (one decision per
+    executed simulator step), so a fault plan composes with a schedule
+    prefix into a single replayable artifact and the SCT explorer can
+    place faults as systematically as it places context switches.
+
+    - {!F_crash}: crash-stop.  The thread dies at the decision point and
+      never runs again: whatever it held (locks, claimed slots, frozen
+      SSMEM epochs) stays held forever.
+    - {!F_stall n}: the thread is descheduled for the next [n] decisions,
+      then resumes — a transparent delay (preemption by the OS, a page
+      fault, an SMI).
+    - {!F_numa_slow}: a socket's memory-access latencies are multiplied
+      by [factor] for the next [window] decisions — a transient NUMA/
+      interconnect degradation.  Only observable under the default
+      (free-running) policy, where latency decides the schedule. *)
+type fault =
+  | F_crash
+  | F_stall of int
+  | F_numa_slow of { factor : float; window : int }
+
+(** One fault of a plan: [fe_fault] applies once [fe_at] decisions have
+    executed (before the [fe_at]-th next decision is taken).  [fe_tid]
+    is a thread id for [F_crash]/[F_stall] and a socket id for
+    [F_numa_slow]. *)
+type fault_event = { fe_at : int; fe_tid : int; fe_fault : fault }
+
+(** Delivered into a thread being crash-stopped, so test-level
+    [Fun.protect] cleanup can run deterministically.  CSDS code installs
+    no such handlers, which is the point: the corpse's locks stay
+    locked.  Harness oracles must treat this exception as an injected
+    fault, never as an algorithm bug. *)
+exception Thread_killed
+
 type thread = {
   tid : int;
   core : int;
@@ -74,6 +112,8 @@ type thread = {
   mutable pend : pending;
   mutable cont : (unit, step) Effect.Deep.continuation option;
   mutable finished : bool;
+  mutable crashed : bool; (* crash-stopped by an injected fault *)
+  mutable stalled_until : int; (* not runnable until this decision count *)
 }
 
 type line_state = { mutable owner : int; sharers : Ascy_util.Bits.t }
@@ -156,6 +196,14 @@ type t = {
   mutable txn : txn_state option;
   tracing : bool; (* cheap flag checked on the access hot path *)
   trace : trace_buf array; (* per-thread rings; empty array when off *)
+  (* fault-injection state; inert (any_fault = false) unless run is
+     given a fault plan, so default paths stay byte-identical *)
+  mutable any_fault : bool;
+  mutable decisions : int; (* executed steps in the current run *)
+  mutable pending_faults : fault_event list; (* sorted by fe_at *)
+  mutable crashed_tids : int list; (* newest first *)
+  slow_factor : float array; (* per-socket NUMA slowdown multiplier *)
+  slow_until : int array; (* decision count the slowdown expires at *)
 }
 
 let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
@@ -188,6 +236,8 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads 
           pend = P_none;
           cont = None;
           finished = false;
+          crashed = false;
+          stalled_until = 0;
         })
   in
   {
@@ -206,6 +256,12 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads 
     cur = -1;
     live = 0;
     txn = None;
+    any_fault = false;
+    decisions = 0;
+    pending_faults = [];
+    crashed_tids = [];
+    slow_factor = Array.make platform.P.sockets 1.0;
+    slow_until = Array.make platform.P.sockets 0;
     tracing = trace_capacity > 0;
     trace =
       (if trace_capacity > 0 then
@@ -387,6 +443,13 @@ let access_cost sim th kind line =
           | Read | Write -> 0
         in
         base + extra
+  in
+  (* transient NUMA degradation: scale the memory latency (not the
+     instruction overhead) while the thread's socket is slowed *)
+  let lat =
+    if sim.any_fault && sim.slow_until.(s) > sim.decisions then
+      int_of_float (float_of_int lat *. sim.slow_factor.(s))
+    else lat
   in
   let instr = int_of_float (float_of_int p.P.c_instr *. th.instr_scale) in
   cnt.energy_nj <- cnt.energy_nj +. em.P.nj_instr;
@@ -611,8 +674,12 @@ exception Thread_failure of int * exn * string
     model.  With [scheduler], every resume decision is delegated to it:
     the callback sees each runnable thread's next {!action} and picks the
     thread to resume, which makes the simulator a controlled concurrency
-    tester (see [Ascy_sct]). *)
-let run ?scheduler sim bodies =
+    tester (see [Ascy_sct]).
+
+    [faults] injects {!fault_event}s keyed by decision index (see
+    {!decisions}); with an empty plan both scheduling modes behave
+    bit-for-bit as before. *)
+let run ?scheduler ?(faults = []) sim bodies =
   if Array.length bodies <> sim.nthreads then invalid_arg "Sim.run: wrong number of bodies";
   (match !current with
   | Some s when s != sim -> failwith "Sim.run: a different simulation is installed"
@@ -622,8 +689,26 @@ let run ?scheduler sim bodies =
       th.clock <- 0;
       th.pend <- P_none;
       th.cont <- None;
-      th.finished <- false)
+      th.finished <- false;
+      th.crashed <- false;
+      th.stalled_until <- 0)
     sim.threads;
+  sim.decisions <- 0;
+  sim.any_fault <- faults <> [];
+  sim.pending_faults <- List.stable_sort (fun a b -> compare a.fe_at b.fe_at) faults;
+  sim.crashed_tids <- [];
+  Array.fill sim.slow_factor 0 (Array.length sim.slow_factor) 1.0;
+  Array.fill sim.slow_until 0 (Array.length sim.slow_until) 0;
+  List.iter
+    (fun fe ->
+      match fe.fe_fault with
+      | F_crash | F_stall _ ->
+          if fe.fe_tid < 0 || fe.fe_tid >= sim.nthreads then
+            invalid_arg "Sim.run: fault targets an unknown thread"
+      | F_numa_slow _ ->
+          if fe.fe_tid < 0 || fe.fe_tid >= sim.plat.P.sockets then
+            invalid_arg "Sim.run: fault targets an unknown socket")
+    faults;
   let handler : (unit, step) Effect.Deep.handler =
     {
       retc = (fun () -> Finished);
@@ -656,6 +741,7 @@ let run ?scheduler sim bodies =
   let exec_step tid =
     let th = sim.threads.(tid) in
     sim.cur <- tid;
+    sim.decisions <- sim.decisions + 1;
     let step =
       match fresh.(tid) with
       | Some body ->
@@ -686,8 +772,58 @@ let run ?scheduler sim bodies =
     sim.cur <- -1;
     step
   in
+  (* Crash-stop [tid]: it never runs again.  A parked continuation is
+     discontinued with {!Thread_killed} so wrapping test code can clean
+     up; CSDS code installs no such handlers, so anything the corpse
+     held — a lock, a half-linked node — stays exactly as it died.  If
+     the body swallows the kill, its replacement continuation is
+     dropped: the thread is dead either way. *)
+  let kill tid =
+    let th = sim.threads.(tid) in
+    if not (th.finished || th.crashed) then begin
+      th.crashed <- true;
+      th.pend <- P_none;
+      sim.live <- sim.live - 1;
+      sim.crashed_tids <- tid :: sim.crashed_tids;
+      fresh.(tid) <- None;
+      match th.cont with
+      | None -> ()
+      | Some k ->
+          th.cont <- None;
+          sim.cur <- tid;
+          (try
+             match Effect.Deep.discontinue k Thread_killed with
+             | Finished | Blocked -> ()
+           with
+          | Thread_killed -> ()
+          | e ->
+              sim.cur <- -1;
+              raise (Thread_failure (tid, e, Printexc.get_backtrace ())));
+          th.cont <- None;
+          sim.cur <- -1
+    end
+  in
+  let apply_due_faults () =
+    let rec go () =
+      match sim.pending_faults with
+      | fe :: rest when fe.fe_at <= sim.decisions ->
+          sim.pending_faults <- rest;
+          (match fe.fe_fault with
+          | F_crash -> kill fe.fe_tid
+          | F_stall n ->
+              let th = sim.threads.(fe.fe_tid) in
+              if not (th.finished || th.crashed) then
+                th.stalled_until <- sim.decisions + max 0 n
+          | F_numa_slow { factor; window } ->
+              sim.slow_factor.(fe.fe_tid) <- factor;
+              sim.slow_until.(fe.fe_tid) <- sim.decisions + max 0 window);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
   (match scheduler with
-  | None ->
+  | None when not sim.any_fault ->
       let heap = Heap.create sim.nthreads (fun tid -> sim.threads.(tid).clock) in
       for tid = 0 to sim.nthreads - 1 do
         Heap.push heap tid
@@ -695,6 +831,48 @@ let run ?scheduler sim bodies =
       while not (Heap.is_empty heap) do
         let tid = Heap.pop heap in
         match exec_step tid with Finished -> () | Blocked -> Heap.push heap tid
+      done
+  | None ->
+      (* Fault-aware free-running loop.  Stalled threads park on a
+         waiting list instead of the clock heap; crashed threads are
+         dropped wherever they surface.  When every live thread is
+         stalled, the decision counter fast-forwards to the earliest
+         expiry (nothing else can make progress in between). *)
+      let heap = Heap.create sim.nthreads (fun tid -> sim.threads.(tid).clock) in
+      for tid = 0 to sim.nthreads - 1 do
+        Heap.push heap tid
+      done;
+      let waiting = ref [] in
+      let release_expired () =
+        let still, ready =
+          List.partition
+            (fun tid ->
+              let th = sim.threads.(tid) in
+              (not th.crashed) && th.stalled_until > sim.decisions)
+            !waiting
+        in
+        waiting := still;
+        List.iter (fun tid -> if not sim.threads.(tid).crashed then Heap.push heap tid) ready
+      in
+      let running = ref true in
+      while !running do
+        apply_due_faults ();
+        release_expired ();
+        if Heap.is_empty heap then
+          match !waiting with
+          | [] -> running := false
+          | w ->
+              let wake =
+                List.fold_left (fun acc tid -> min acc sim.threads.(tid).stalled_until) max_int w
+              in
+              sim.decisions <- max sim.decisions wake
+        else begin
+          let tid = Heap.pop heap in
+          let th = sim.threads.(tid) in
+          if th.crashed then ()
+          else if th.stalled_until > sim.decisions then waiting := tid :: !waiting
+          else match exec_step tid with Finished -> () | Blocked -> Heap.push heap tid
+        end
       done
   | Some choose ->
       let next_action tid =
@@ -707,21 +885,52 @@ let run ?scheduler sim bodies =
       in
       let scratch = Array.make sim.nthreads (0, A_start) in
       while sim.live > 0 do
-        let n = ref 0 in
-        for tid = 0 to sim.nthreads - 1 do
-          if not sim.threads.(tid).finished then begin
-            scratch.(!n) <- (tid, next_action tid);
-            incr n
+        if sim.any_fault then apply_due_faults ();
+        if sim.live > 0 then begin
+          let n = ref 0 in
+          for tid = 0 to sim.nthreads - 1 do
+            let th = sim.threads.(tid) in
+            if (not th.finished) && (not th.crashed) && th.stalled_until <= sim.decisions
+            then begin
+              scratch.(!n) <- (tid, next_action tid);
+              incr n
+            end
+          done;
+          if !n = 0 then begin
+            (* every live thread is stalled: jump to the earliest expiry *)
+            let wake = ref max_int in
+            for tid = 0 to sim.nthreads - 1 do
+              let th = sim.threads.(tid) in
+              if (not th.finished) && (not th.crashed) && th.stalled_until < !wake then
+                wake := th.stalled_until
+            done;
+            sim.decisions <- max sim.decisions !wake
           end
-        done;
-        let runnable = Array.sub scratch 0 !n in
-        let tid = choose runnable in
-        if tid < 0 || tid >= sim.nthreads || sim.threads.(tid).finished then
-          invalid_arg (Printf.sprintf "Sim.run: scheduler chose non-runnable thread %d" tid);
-        ignore (exec_step tid)
+          else begin
+            let runnable = Array.sub scratch 0 !n in
+            let tid = choose runnable in
+            if
+              tid < 0 || tid >= sim.nthreads || sim.threads.(tid).finished
+              || sim.threads.(tid).crashed
+            then
+              invalid_arg (Printf.sprintf "Sim.run: scheduler chose non-runnable thread %d" tid);
+            ignore (exec_step tid)
+          end
+        end
       done);
   sim.cur <- -1;
   !makespan
+
+(** Scheduling decisions executed so far in the current/last {!run}.
+    This is the coordinate system fault events ([fe_at]) live in: one
+    decision per resumed simulator step, shared with SCT schedule
+    prefixes so fault plans compose with recorded schedules. *)
+let decisions sim = sim.decisions
+
+let is_crashed sim tid = sim.threads.(tid).crashed
+
+(** Tids crash-stopped by injected faults, in injection order. *)
+let crashed_tids sim = List.rev sim.crashed_tids
 
 (** Install every allocated line into every socket's LLC, emulating the
     steady state a long-running benchmark reaches (the paper measures

@@ -6,7 +6,7 @@
     bit-for-bit: replaying follows the prefix and continues with the
     default policy, which is exactly how the explorer ran it.
 
-    The on-disk format (schema version 1) is JSON:
+    The on-disk format is JSON.  Schema version 1:
     {v
     {
       "version": 1,
@@ -15,41 +15,102 @@
       "meta": { ... }                // caller-defined replay context
     }
     v}
-    [meta] is opaque to this module; [Ascy_harness.Sct_run] stores the
-    algorithm name, platform, thread count, per-thread operation scripts
-    and the violation message there, so a schedule file is a complete,
-    self-contained reproduction recipe. *)
+    Schema version 2 (written only when a fault plan is present) adds a
+    ["faults"] array of fault events in the same decision coordinate
+    system as the prefix:
+    {v
+      "faults": [
+        {"at": D, "tid": T, "fault": "crash"},
+        {"at": D, "tid": T, "fault": "stall", "decisions": N},
+        {"at": D, "socket": S, "fault": "numa-slow",
+         "factor": F, "window": W}, ...
+      ]
+    v}
+    A file with no faults is always written as (and byte-identical to)
+    schema version 1, so pre-fault tooling and golden files are
+    untouched.  [meta] is opaque to this module; [Ascy_harness.Sct_run]
+    and [Ascy_harness.Fault_run] store the algorithm name, platform,
+    thread count, per-thread operation scripts and the violation message
+    there, so a schedule file is a complete, self-contained reproduction
+    recipe. *)
 
 module J = Ascy_util.Json
+module Sim = Ascy_mem.Sim
 
 let schema_version = 1
+let schema_version_faults = 2
 let kind = "ascy-sct-schedule"
 
-let to_json ?(meta = []) ~prefix () =
+let fault_to_json fe =
+  match fe.Sim.fe_fault with
+  | Sim.F_crash ->
+      J.Obj
+        [ ("at", J.Int fe.Sim.fe_at); ("tid", J.Int fe.Sim.fe_tid); ("fault", J.String "crash") ]
+  | Sim.F_stall n ->
+      J.Obj
+        [
+          ("at", J.Int fe.Sim.fe_at);
+          ("tid", J.Int fe.Sim.fe_tid);
+          ("fault", J.String "stall");
+          ("decisions", J.Int n);
+        ]
+  | Sim.F_numa_slow { factor; window } ->
+      J.Obj
+        [
+          ("at", J.Int fe.Sim.fe_at);
+          ("socket", J.Int fe.Sim.fe_tid);
+          ("fault", J.String "numa-slow");
+          ("factor", J.Float factor);
+          ("window", J.Int window);
+        ]
+
+let to_json ?(meta = []) ?(faults = []) ~prefix () =
   J.Obj
-    [
-      ("version", J.Int schema_version);
-      ("kind", J.String kind);
-      ( "prefix",
-        J.List
-          (List.map
-             (fun (tid, len) -> J.List [ J.Int tid; J.Int len ])
-             (Scheduler.to_chunks prefix)) );
-      ("meta", J.Obj meta);
-    ]
+    (("version", J.Int (if faults = [] then schema_version else schema_version_faults))
+     :: ("kind", J.String kind)
+     :: ( "prefix",
+          J.List
+            (List.map
+               (fun (tid, len) -> J.List [ J.Int tid; J.Int len ])
+               (Scheduler.to_chunks prefix)) )
+     :: (if faults = [] then [] else [ ("faults", J.List (List.map fault_to_json faults)) ])
+    @ [ ("meta", J.Obj meta) ])
 
 exception Bad_schedule of string
 
 let fail msg = raise (Bad_schedule msg)
 
-(** [of_json j] returns the decision prefix and the caller meta object.
-    Raises {!Bad_schedule} on malformed or wrong-version input. *)
+let fault_of_json j =
+  let int k = match J.member k j with Some (J.Int v) -> v | _ -> fail "malformed fault event" in
+  let at = int "at" in
+  if at < 0 then fail "malformed fault event";
+  match J.member "fault" j with
+  | Some (J.String "crash") -> { Sim.fe_at = at; fe_tid = int "tid"; fe_fault = Sim.F_crash }
+  | Some (J.String "stall") ->
+      { Sim.fe_at = at; fe_tid = int "tid"; fe_fault = Sim.F_stall (int "decisions") }
+  | Some (J.String "numa-slow") ->
+      let factor =
+        match J.member "factor" j with
+        | Some (J.Float f) -> f
+        | Some (J.Int i) -> float_of_int i
+        | _ -> fail "malformed fault event"
+      in
+      {
+        Sim.fe_at = at;
+        fe_tid = int "socket";
+        fe_fault = Sim.F_numa_slow { factor; window = int "window" };
+      }
+  | _ -> fail "unknown fault kind"
+
+(** [of_json j] returns the decision prefix, the fault plan (empty for
+    schema v1 files) and the caller meta object.  Raises {!Bad_schedule}
+    on malformed or wrong-version input. *)
 let of_json j =
   (match J.member "kind" j with
   | Some (J.String k) when k = kind -> ()
   | _ -> fail "not an ascy-sct-schedule");
   (match J.member "version" j with
-  | Some (J.Int v) when v = schema_version -> ()
+  | Some (J.Int v) when v = schema_version || v = schema_version_faults -> ()
   | _ -> fail "unsupported schedule schema version");
   let prefix =
     match J.member "prefix" j with
@@ -62,15 +123,21 @@ let of_json j =
              chunks)
     | _ -> fail "missing prefix"
   in
+  let faults =
+    match J.member "faults" j with
+    | Some (J.List fs) -> List.map fault_of_json fs
+    | Some _ -> fail "malformed faults"
+    | None -> []
+  in
   let meta = match J.member "meta" j with Some (J.Obj kvs) -> kvs | _ -> [] in
-  (prefix, meta)
+  (prefix, faults, meta)
 
-let save ~path ?meta ~prefix () =
+let save ~path ?meta ?faults ~prefix () =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (J.to_string ~indent:1 (to_json ?meta ~prefix ()));
+      output_string oc (J.to_string ~indent:1 (to_json ?meta ?faults ~prefix ()));
       output_string oc "\n")
 
 let load path =

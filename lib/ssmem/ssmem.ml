@@ -16,7 +16,17 @@
     optional recycler rather than a raw allocator; what is preserved from
     the paper is the *behaviour*: deferred reuse, configurable garbage
     thresholds (the Tilera runs use 128 instead of 512), GC-pass counts,
-    and the non-blocking design based on per-thread counters. *)
+    and the non-blocking design based on per-thread counters.
+
+    QSBR's classic liability rides along: a thread that stops quiescing
+    — crashed, stalled, or just descheduled forever — freezes its
+    activity timestamp, and every batch parked after that point waits on
+    it forever.  Garbage then grows without bound while nothing is ever
+    reclaimed unsafely.  {!stuck_epochs} detects exactly this (which
+    threads are pinning how much parked garbage) and {!detach} is the
+    administrative escape hatch: once a thread is declared dead its
+    frozen stamp no longer pins batches, and {!collect_all} drains
+    whatever became reclaimable. *)
 
 module Make (Mem : Ascy_mem.Memory.S) = struct
   type garbage = Garbage : 'a -> garbage
@@ -37,6 +47,9 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     ts : int Mem.r array; (* per-thread activity timestamps *)
     states : thread_state option array; (* lazily created, owner-only *)
     reclaimer : (garbage -> unit) option;
+    detached : bool array;
+        (* administrative (not simulated memory): [detached.(i)] declares
+           thread [i] dead — its frozen timestamp no longer pins batches *)
   }
 
   let create ?(gc_threshold = 512) ?reclaimer () =
@@ -46,6 +59,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
       ts = Array.init n (fun _ -> Mem.make_fresh 0);
       states = Array.make n None;
       reclaimer;
+      detached = Array.make n false;
     }
 
   let state t =
@@ -69,7 +83,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let batch_safe t b =
     let ok = ref true in
     Array.iteri
-      (fun i s -> if not (Mem.get t.ts.(i) > s || s = 0) then ok := false)
+      (fun i s -> if not (Mem.get t.ts.(i) > s || s = 0 || t.detached.(i)) then ok := false)
       b.stamp;
     !ok
 
@@ -113,6 +127,54 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
       s.current_size <- 0;
       collect t s
     end
+
+  (** Per-thread stuck-epoch report: thread [tid]'s activity timestamp
+      has not moved past [batches] parked batches holding [items]
+      deferred objects — they can never be reclaimed while it stays
+      frozen.  [since] is the frozen timestamp value. *)
+  type stuck = { tid : int; since : int; batches : int; items : int }
+
+  (** Which threads are pinning parked garbage right now, and how much.
+      A thread appears iff it is not detached and at least one parked
+      batch (any owner's) is waiting on its timestamp.  Under faults
+      this is the bounded-garbage-growth report: a crashed thread shows
+      up here with a monotonically growing [items] count. *)
+  let stuck_epochs t =
+    let n = Array.length t.ts in
+    let batches = Array.make n 0 and items = Array.make n 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (s : thread_state) ->
+            List.iter
+              (fun b ->
+                Array.iteri
+                  (fun i st ->
+                    if (not (Mem.get t.ts.(i) > st || st = 0 || t.detached.(i))) then begin
+                      batches.(i) <- batches.(i) + 1;
+                      items.(i) <- items.(i) + b.size
+                    end)
+                  b.stamp)
+              s.parked)
+      t.states;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if batches.(i) > 0 then
+        out := { tid = i; since = Mem.get t.ts.(i); batches = batches.(i); items = items.(i) } :: !out
+    done;
+    !out
+
+  (** Declare thread [tid] dead: its frozen activity timestamp stops
+      pinning parked batches.  Administrative — call it only once the
+      thread can no longer run (crash-stopped, joined, ...); detaching a
+      thread that still holds references would allow unsafe reuse,
+      exactly as in the C allocator's [ssmem_term]. *)
+  let detach t tid = t.detached.(tid) <- true
+
+  (** Run a collection pass over every thread's parked batches (not just
+      the caller's), e.g. after {!detach} has unpinned them. *)
+  let collect_all t =
+    Array.iter (function None -> () | Some s -> if s.parked <> [] then collect t s) t.states
 
   type stats = { freed : int; reclaimed : int; pending : int; gc_passes : int }
 

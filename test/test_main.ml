@@ -12,6 +12,7 @@ let () =
         ("harness", Test_harness.suite);
         ("history", Test_history.suite);
         ("sct", Test_sct.suite);
+        ("fault", Test_fault.suite);
         ("internals", Test_internals.suite);
       ]
   in

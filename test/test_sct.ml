@@ -130,8 +130,9 @@ let test_schedule_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Replay.save ~path ~meta ~prefix ();
-      let prefix', meta' = Replay.load path in
+      let prefix', faults', meta' = Replay.load path in
       Alcotest.(check (array int)) "prefix round-trips" prefix prefix';
+      Alcotest.(check bool) "no faults in a v1 file" true (faults' = []);
       Alcotest.(check bool) "meta round-trips" true
         (List.assoc_opt "algorithm" meta' = Some (Ascy_util.Json.String "ll-lazy")))
 
