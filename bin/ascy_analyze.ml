@@ -1,0 +1,89 @@
+(* ASCY conformance sweep: observed vs declared ASCY1-4 vectors.
+
+   Usage: ascy_analyze [-out DIR] [NAME ...]
+
+   For every registry algorithm (or just the NAMEs given), profile every
+   operation of two deterministic simulator runs — a contended 4-thread
+   run and a single-threaded run against the family's asynchronized
+   baseline — and derive the observed ASCY compliance vector from the
+   per-phase access profiles (Ascy_analysis.Ascy_check).
+
+   Prints the Table-1-style declared-vs-observed table and writes the
+   full evidence (per-entry measurements plus one offending op profile
+   per violated pattern) to DIR/ASCY_CHECK.json.  Exits 1 on any
+   observed/declared mismatch. *)
+
+module Check = Ascy_analysis.Ascy_check
+module Registry = Ascylib.Registry
+module Ascy = Ascy_core.Ascy
+module J = Ascy_util.Json
+
+let () =
+  let out_dir = ref "." in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-out" :: d :: rest ->
+        out_dir := d;
+        parse rest
+    | ("-h" | "-help" | "--help") :: _ ->
+        print_endline "usage: ascy_analyze [-out DIR] [NAME ...]";
+        exit 0
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let entries =
+    match !names with
+    | [] -> Registry.all
+    | names -> List.map Registry.by_name (List.rev names)
+  in
+  Printf.printf "ASCY conformance sweep: %d algorithms, %s\n\n" (List.length entries)
+    "per-op phase profiles over contended (4T) + single-thread runs";
+  Printf.printf "%-14s %-11s %-4s %-8s %-8s %7s %7s %6s %6s  %s\n" "name" "family" "sync"
+    "declared" "observed" "ratio" "budget" "s.bad" "p.bad" "verdict";
+  let reports = Check.sweep ~entries () in
+  let failures = ref [] in
+  List.iter
+    (fun (r : Check.report) ->
+      let e = r.Check.entry in
+      let m = r.Check.measured in
+      let ok = Check.matches r in
+      Printf.printf "%-14s %-11s %-4s %-8s %-8s %7.2f %7.2f %6d %6d  %s\n%!" e.Registry.name
+        (Ascy.family_to_string e.Registry.family)
+        (Ascy.sync_to_string e.Registry.sync)
+        (Ascy.to_string e.Registry.ascy)
+        (Ascy.to_string r.Check.observed)
+        m.Check.m_ratio m.Check.m_budget m.Check.m_search_bad m.Check.m_parse_bad
+        (if ok then "ok" else "MISMATCH");
+      if not ok then failures := r :: !failures)
+    reports;
+  let path = Filename.concat !out_dir "ASCY_CHECK.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~indent:1 (Check.check_json reports));
+      output_char oc '\n');
+  Printf.printf "\n[evidence -> %s]\n" path;
+  match !failures with
+  | [] ->
+      print_endline "every observed ASCY vector matches its declared one";
+      exit 0
+  | fs ->
+      Printf.printf "%d mismatch(es):\n" (List.length fs);
+      List.iter
+        (fun (r : Check.report) ->
+          let m = r.Check.measured in
+          Printf.printf
+            "  %s: declared %s observed %s (searches %d/%d bad, parses %d/%d bad, failed \
+             %d/%d storing, success-waits %d/%d, ratio %.2f vs budget %.2f)\n"
+            r.Check.entry.Registry.name
+            (Ascy.to_string r.Check.entry.Registry.ascy)
+            (Ascy.to_string r.Check.observed)
+            m.Check.m_search_bad m.Check.m_searches m.Check.m_parse_bad m.Check.m_updates
+            m.Check.m_failed_bad m.Check.m_failed m.Check.m_success_waits m.Check.m_successes
+            m.Check.m_ratio m.Check.m_budget)
+        fs;
+      exit 1

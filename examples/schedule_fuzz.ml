@@ -6,7 +6,8 @@
    (Ascy_sct + Ascy_harness.Sct_run): a DFS over the simulator's
    scheduling decisions, bounded by preemptions, pruned with
    DPOR-style backtrack points and sleep sets, with every explored
-   schedule checked for crashes, structural damage, set conservation
+   schedule checked for crashes, data races (the happens-before
+   detector of Ascy_analysis.Race), structural damage, set conservation
    and linearizability.
 
    The asynchronized (sequential) list is deliberately unsafe when
@@ -42,7 +43,7 @@ let file = "SCT_counterexample_ll-async.json"
 let hunt name =
   Printf.printf "%-12s exploring (DPOR, <=%d preemptions) ...\n%!" name
     (match bounds.Explorer.preemptions with Some p -> p | None -> max_int);
-  let finding, report = Sct.explore ~mode:Explorer.Dpor ~bounds (spec name) in
+  let finding, report = Sct.explore ~mode:Explorer.Dpor ~bounds ~races:true (spec name) in
   Printf.printf "%-12s %d schedules, %d decisions%s\n" name report.Explorer.schedules
     report.Explorer.steps
     (if report.Explorer.complete then " (schedule space exhausted)" else "");
@@ -56,7 +57,7 @@ let () =
       Printf.printf "ll-async     schedule: %d decisions, minimized to %d (%d context switches)\n"
         (Array.length f.Sct.schedule) (Array.length f.Sct.minimized)
         (max 0 (List.length (Scheduler.to_chunks f.Sct.minimized) - 1));
-      Sct.save_finding ~path:file (spec "ll-async") f
+      Sct.save_finding ~races:true ~path:file (spec "ll-async") f
   | None, _ ->
       prerr_endline "FATAL: SCT failed to break the asynchronized list";
       exit 1);

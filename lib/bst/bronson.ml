@@ -101,10 +101,12 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   let insert t k v =
     let rec attempt () =
+      Mem.emit E.parse;
       match
         let rec go (n : 'v info) =
           if n.key = k then begin
             (* revive or fail on the existing (possibly routing) node *)
+            Mem.emit E.parse_end;
             L.acquire n.lock;
             if Mem.get n.unlinked then begin
               L.release n.lock;
@@ -130,6 +132,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
                 Mem.touch m.line;
                 go m
             | Nil ->
+                Mem.emit E.parse_end;
                 L.acquire n.lock;
                 if Mem.get n.unlinked || Mem.get (child n k) <> Nil then begin
                   L.release n.lock;
@@ -182,9 +185,11 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   let remove t k =
     let rec attempt () =
+      Mem.emit E.parse;
       match
         let rec go (p : 'v info) (n : 'v info) =
           if n.key = k then begin
+            Mem.emit E.parse_end;
             L.acquire n.lock;
             if Mem.get n.unlinked then begin
               L.release n.lock;

@@ -90,6 +90,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let rec attempt () =
       Mem.emit E.parse;
       let _, _, p, pvl, pvr, lf = seek t k in
+      Mem.emit E.parse_end;
       match lf with
       | Leaf l when l.key = k -> false (* ASCY3: read-only failure *)
       | Leaf l ->
@@ -114,6 +115,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let rec attempt () =
       Mem.emit E.parse;
       let g, gv, p, pvl, pvr, lf = seek t k in
+      Mem.emit E.parse_end;
       match lf with
       | Leaf l when l.key = k ->
           let gside = side_for g k in

@@ -279,7 +279,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
       let c = locate t k in
       c.key = k && not (Mem.get c.marked)
     in
-    if t.rof && quick_present () then false
+    Mem.emit E.parse;
+    let doomed = t.rof && quick_present () in
+    Mem.emit E.parse_end;
+    if doomed then false
     else begin
       let rec attempt () =
         let p, s = lock_pred t k in
@@ -313,7 +316,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
       let c = locate t k in
       not (c.key = k && not (Mem.get c.marked))
     in
-    if t.rof && quick_absent () then false
+    Mem.emit E.parse;
+    let doomed = t.rof && quick_absent () in
+    Mem.emit E.parse_end;
+    if doomed then false
     else begin
       let attempt () =
         let p, s = lock_pred t k in

@@ -189,6 +189,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
             attempt ()
           end
           else begin
+            Mem.emit E.parse_end;
             let nl = mk_leaf k (Some v) in
             let ni =
               if k < l.key then mk_internal l.key nl lf else mk_internal k lf nl
@@ -225,6 +226,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
             attempt ()
           end
           else begin
+            Mem.emit E.parse_end;
             let op = { dg = gp; dp = p; dl = lf; pupdate = pu } in
             if Mem.cas gp.update gpu (DFlag op) then begin
               if help_delete t op then true

@@ -248,7 +248,12 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     in
     attempt ()
 
+  (* No parse_end in this file: howley has no clean parse/modify split —
+     the decision CASes run through the same op-claiming machinery as
+     helping, so the whole operation is one (storing) parse.  That is the
+     declared ASCY2 violation. *)
   let remove t k =
+    Mem.emit E.parse;
     match descend t k ~helping:true with
     | `Missing _ -> false
     | `Found (p, n) -> (

@@ -143,6 +143,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
             attempt ()
           end
           else begin
+            Mem.emit E.parse_end;
             let nl = mk_leaf k (Some v) in
             let r = if k < l.key then mk_router l.key nl lf else mk_router k lf nl in
             if Mem.cas (child_cell p k) e (clean (Router r)) then true
@@ -170,11 +171,13 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
             ignore (cleanup t g p ~victim_left:(k >= p.key));
             claim ()
           end
-          else if Mem.cas (child_cell p k) e { e with flag = true } then
-            Some (g, p, e.target)
           else begin
-            Mem.emit E.cas_fail;
-            claim ()
+            Mem.emit E.parse_end;
+            if Mem.cas (child_cell p k) e { e with flag = true } then Some (g, p, e.target)
+            else begin
+              Mem.emit E.cas_fail;
+              claim ()
+            end
           end
       | _ -> None
     in

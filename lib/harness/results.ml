@@ -28,10 +28,14 @@
       "stats": { "makespan_cycles": N, "accesses": N, "hits_l1": N,
                  "hits_llc": N, "transfers_local": N,
                  "transfers_remote": N, "fetch_remote": N,
-                 "misses_mem": N, "atomics": N, "energy_j": x,
+                 "misses_mem": N, "atomics": N, "stores": N, "energy_j": x,
                  "power_w": x, "events": { "restart": N, ... } },
+      "thread_stats": [ { "tid": N, "accesses": N, "l1": N, "llc": N,
+                          "c2c_local": N, "c2c_remote": N,
+                          "llc_remote": N, "mem": N, "atomics": N,
+                          "stores": N }, ... ],
       "derived": { "misses_per_op": x, "atomics_per_update": x,
-                   "extra_parse_pct": x },
+                   "stores_per_update": x, "extra_parse_pct": x },
       "latency_ns": { "search_hit": <dist> | null, ...,
                       "ops_ok": <dist> | null } }
     v}
@@ -80,10 +84,33 @@ let stats_json (st : Sim.run_stats) =
       ("misses_mem", J.Int st.Sim.misses_mem);
       ("misses", J.Int (Sim.misses st));
       ("atomics", J.Int st.Sim.atomics);
+      ("stores", J.Int st.Sim.stores);
       ("energy_j", J.Float st.Sim.energy_j);
       ("power_w", J.Float st.Sim.power_w);
       ("events", events_json st.Sim.events);
     ]
+
+(* Per-thread coherence service-class counters (the Tc_* classes), live
+   even with tracing off — paper Fig. 4/10-style breakdowns. *)
+let thread_stats_json (ts : Sim.thread_stats array) =
+  J.List
+    (Array.to_list
+       (Array.map
+          (fun (t : Sim.thread_stats) ->
+            J.Obj
+              [
+                ("tid", J.Int t.Sim.t_tid);
+                ("accesses", J.Int t.Sim.t_accesses);
+                ("l1", J.Int t.Sim.t_l1);
+                ("llc", J.Int t.Sim.t_llc);
+                ("c2c_local", J.Int t.Sim.t_c2c_local);
+                ("c2c_remote", J.Int t.Sim.t_c2c_remote);
+                ("llc_remote", J.Int t.Sim.t_llc_remote);
+                ("mem", J.Int t.Sim.t_mem);
+                ("atomics", J.Int t.Sim.t_atomics);
+                ("stores", J.Int t.Sim.t_stores);
+              ])
+          ts))
 
 let workload_json (w : Workload.t) =
   J.Obj
@@ -129,11 +156,13 @@ let of_sim_run ?(label = "") (r : Sim_run.result) =
       ("final_size", J.Int r.Sim_run.final_size);
       ("workload", workload_json r.Sim_run.workload);
       ("stats", stats_json r.Sim_run.stats);
+      ("thread_stats", thread_stats_json r.Sim_run.thread_stats);
       ( "derived",
         J.Obj
           [
             ("misses_per_op", J.Float (Sim_run.misses_per_op r));
             ("atomics_per_update", J.Float (Sim_run.atomics_per_update r));
+            ("stores_per_update", J.Float (Sim_run.stores_per_update r));
             ("extra_parse_pct", J.Float (Sim_run.extra_parse_pct r));
           ] );
       ("latency_ns", latencies_json r.Sim_run.latencies);

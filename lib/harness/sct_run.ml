@@ -12,6 +12,9 @@
       ([Sim.Thread_failure]) is a violation — unless the exception is
       [Sim.Thread_killed], the tag carried by injected crash faults,
       which marks deliberate fault-induced termination, not a bug;
+    - {e data race} (opt-in, [~races:true]): the happens-before detector
+      ({!Ascy_analysis.Race}) observed two plain writes to the same
+      cache line unordered by the run's synchronization;
     - {e structure}: [validate] must pass (ordering/reachability);
     - {e conservation}: for every key, initial membership plus net
       successful inserts/removes must equal final membership;
@@ -70,7 +73,7 @@ let keys_of spec =
     and returns [Some description] iff an oracle rejects the run.
     Deterministic: the same schedule yields the identical result,
     including the description string. *)
-let run_once ?(faults = []) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
+let run_once ?(faults = []) ?(races = false) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
   let module M = A (Sim.Mem) in
   (* History timestamps must reflect the *scheduling order*: [Sim.now]
      is the executing thread's local clock, which tracks global order
@@ -89,6 +92,14 @@ let run_once ?(faults = []) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
       let t = M.create ~hint:(max 8 (List.length spec.initial)) () in
       List.iter (fun k -> ignore (M.insert t k (-1))) spec.initial;
       Sim.warm sim;
+      let detector =
+        if races then begin
+          let d = Ascy_analysis.Race.create ~nthreads:spec.nthreads in
+          Sim.set_observer sim (Some (Ascy_analysis.Race.observer d));
+          Some d
+        end
+        else None
+      in
       let h = History.create () in
       List.iter (History.add_initial h) spec.initial;
       let net = Hashtbl.create 32 in
@@ -128,6 +139,14 @@ let run_once ?(faults = []) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
       | exception Sim.Thread_failure (tid, e, _) ->
           Some (Printf.sprintf "thread %d crashed: %s" tid (Printexc.to_string e))
       | _ -> (
+          match detector with
+          | Some d when Ascy_analysis.Race.total d > 0 ->
+              let first = List.hd (Ascy_analysis.Race.races d) in
+              Some
+                (Printf.sprintf "%d distinct data race(s); first: %s"
+                   (Ascy_analysis.Race.total d)
+                   (Ascy_analysis.Race.describe first))
+          | _ -> (
           match M.validate t with
           | Error msg -> Some (Printf.sprintf "structural invariant broken: %s" msg)
           | Ok () -> (
@@ -152,11 +171,11 @@ let run_once ?(faults = []) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
               | [] -> (
                   match History.check h with
                   | Ok () -> None
-                  | Error v -> Some ("not linearizable: " ^ History.pp_violation v)))))
+                  | Error v -> Some ("not linearizable: " ^ History.pp_violation v))))))
 
 (* A prefix-replay check with its own step budget, so minimizing or
    replaying a livelock counterexample cannot itself livelock. *)
-let check_prefix maker spec ~max_steps prefix =
+let check_prefix ?races maker spec ~max_steps prefix =
   let steps = ref 0 in
   let inner = Scheduler.prefix_scheduler ~prefix () in
   let sched runnable =
@@ -164,7 +183,7 @@ let check_prefix maker spec ~max_steps prefix =
     if !steps > max_steps then raise (Explorer.Step_limit !steps);
     inner runnable
   in
-  try run_once maker spec ~sched
+  try run_once ?races maker spec ~sched
   with Explorer.Step_limit d ->
     Some (Printf.sprintf "step limit %d exceeded (possible livelock or starvation)" d)
 
@@ -175,17 +194,21 @@ type finding = {
   min_violation : string;  (** oracle description under the minimized prefix *)
 }
 
-(** [explore ?mode ?bounds spec] systematically explores the spec's
-    schedule space.  On failure the counterexample is minimized; the
-    report carries exploration statistics either way. *)
-let explore ?mode ?(bounds = Explorer.default_bounds) spec =
+(** [explore ?mode ?bounds ?races spec] systematically explores the
+    spec's schedule space ([~races:true] additionally runs the
+    happens-before race detector over every schedule).  On failure the
+    counterexample is minimized; the report carries exploration
+    statistics either way. *)
+let explore ?mode ?(bounds = Explorer.default_bounds) ?races spec =
   let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
-  let report = Explorer.explore ?mode ~bounds ~run:(fun ~sched -> run_once maker spec ~sched) () in
+  let report =
+    Explorer.explore ?mode ~bounds ~run:(fun ~sched -> run_once ?races maker spec ~sched) ()
+  in
   let finding =
     match report.Explorer.failure with
     | None -> None
     | Some f ->
-        let check = check_prefix maker spec ~max_steps:bounds.Explorer.max_steps in
+        let check = check_prefix ?races maker spec ~max_steps:bounds.Explorer.max_steps in
         let minimized = Replay.minimize ~check f.Explorer.f_schedule in
         let min_violation =
           match check minimized with
@@ -267,10 +290,14 @@ let spec_of_meta meta =
   { name; platform; nthreads; initial; script }
 
 (** Write a self-contained counterexample file: minimized schedule plus
-    everything needed to rebuild the run ({!spec_meta}). *)
-let save_finding ~path spec finding =
+    everything needed to rebuild the run ({!spec_meta}).  Pass the same
+    [?races] the finding was explored with: the flag is stored in the
+    file so {!replay_file} re-arms the race oracle. *)
+let save_finding ?(races = false) ~path spec finding =
   Replay.save ~path
-    ~meta:(spec_meta spec @ [ ("violation", J.String finding.min_violation) ])
+    ~meta:
+      (spec_meta spec
+      @ [ ("violation", J.String finding.min_violation); ("races", J.Bool races) ])
     ~prefix:finding.minimized ()
 
 (** Load a counterexample file and replay it [times] times; returns the
@@ -284,8 +311,11 @@ let replay_file ?(times = 2) ?(max_steps = Explorer.default_bounds.Explorer.max_
   let expected =
     match List.assoc_opt "violation" meta with Some (J.String s) -> Some s | _ -> None
   in
+  let races =
+    match List.assoc_opt "races" meta with Some (J.Bool b) -> b | _ -> false
+  in
   let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
   let results =
-    List.init times (fun _ -> check_prefix maker spec ~max_steps prefix)
+    List.init times (fun _ -> check_prefix ~races maker spec ~max_steps prefix)
   in
   (spec, expected, results)

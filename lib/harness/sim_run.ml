@@ -39,6 +39,7 @@ type result = {
   seconds : float;
   throughput_mops : float;
   stats : Sim.run_stats;
+  thread_stats : Sim.thread_stats array;
   latencies : latency_class;
   final_size : int;
 }
@@ -130,6 +131,7 @@ let run ?(seed = 1) ?(latency = false) ?history ?trace_capacity
       in
       let makespan = Sim.run sim (Array.init nthreads body) in
       let stats = Sim.stats sim ~makespan in
+      let thread_stats = Sim.per_thread_stats sim in
       let ops = nthreads * ops_per_thread in
       {
         algorithm = M.name;
@@ -145,6 +147,7 @@ let run ?(seed = 1) ?(latency = false) ?history ?trace_capacity
         throughput_mops =
           (if stats.Sim.seconds > 0.0 then float_of_int ops /. stats.Sim.seconds /. 1e6 else 0.0);
         stats;
+        thread_stats;
         latencies = lat;
         final_size = M.size t;
       })
@@ -155,6 +158,12 @@ let misses_per_op r = float_of_int (Sim.misses r.stats) /. float_of_int (max r.o
 (** Atomic (RMW) operations per successful update — Figure 7's metric. *)
 let atomics_per_update r =
   float_of_int r.stats.Sim.atomics /. float_of_int (max r.updates_successful 1)
+
+(** Stores (plain + RMW) per successful update — the paper's
+    stores-per-operation metric, from the always-on counters. *)
+let stores_per_update r =
+  float_of_int (r.stats.Sim.stores + r.stats.Sim.atomics)
+  /. float_of_int (max r.updates_successful 1)
 
 (** Extra parses beyond one per update, as a percentage — §5's
     fraser vs fraser-opt numbers. *)

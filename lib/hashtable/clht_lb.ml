@@ -197,7 +197,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
           | `Empty _ -> `Done false)
 
   let insert t k v =
-    if search t k <> None then false (* ASCY3: read-only when doomed *)
+    Mem.emit E.parse;
+    let doomed = search t k <> None in
+    Mem.emit E.parse_end;
+    if doomed then false (* ASCY3: read-only when doomed *)
     else begin
       let locked_path () =
         let _tbl, head = lock_head t k in
@@ -233,7 +236,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     end
 
   let remove t k =
-    if search t k = None then false (* ASCY3 *)
+    Mem.emit E.parse;
+    let doomed = search t k = None in
+    Mem.emit E.parse_end;
+    if doomed then false (* ASCY3 *)
     else begin
       let locked_path () =
         let _tbl, head = lock_head t k in

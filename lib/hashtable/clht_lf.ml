@@ -168,7 +168,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     scan (head t k)
 
   let insert t k v =
-    if search t k <> None then false (* ASCY3 *)
+    Mem.emit E.parse;
+    let doomed = search t k <> None in
+    Mem.emit E.parse_end;
+    if doomed then false (* ASCY3 *)
     else begin
       let bo = B.create () in
       let rec attempt () =
@@ -206,6 +209,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     end
 
   let remove t k =
+    Mem.emit E.parse;
     let rec scan b =
       let rec slot i =
         if i = entries then
@@ -213,10 +217,12 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
         else begin
           let s = Mem.get b.snap in
           if state_of s i = st_valid && Mem.get b.keys.(i) = k then begin
+            Mem.emit E.parse_end;
             (* single-CAS removal against the exact observed snapshot *)
             if Mem.cas b.snap s (with_state s i st_invalid) then true
             else begin
               Mem.emit E.cas_fail;
+              Mem.emit E.parse;
               scan (head t k) (* something moved: rescan the chain *)
             end
           end

@@ -89,7 +89,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     Mem.set seg.table fresh
 
   let insert t k v =
-    if t.rof && search t k <> None then false
+    Mem.emit E.parse;
+    let quick_fail = t.rof && search t k <> None in
+    Mem.emit E.parse_end;
+    if quick_fail then false
     else begin
       let seg = segment t k in
       L.acquire seg.lock;
@@ -111,7 +114,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     end
 
   let remove t k =
-    if t.rof && search t k = None then false
+    Mem.emit E.parse;
+    let quick_fail = t.rof && search t k = None in
+    Mem.emit E.parse_end;
+    if quick_fail then false
     else begin
       let seg = segment t k in
       L.acquire seg.lock;

@@ -12,6 +12,7 @@
 
 module Make (Mem : Ascy_mem.Memory.S) = struct
   module Rw = Ascy_locks.Rw_lock.Make (Mem)
+  module E = Ascy_mem.Event
 
   type 'v node = Nil | Node of 'v info
   and 'v info = { key : int; value : 'v; line : Mem.line; next : 'v node Mem.r }
@@ -56,8 +57,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   let insert t k v =
     let b = bucket t k in
+    Mem.emit E.parse;
     Rw.write_acquire b.lock;
     let cell, succ = locate b k in
+    Mem.emit E.parse_end;
     let ok =
       match succ with
       | Node n when n.key = k -> false
@@ -71,9 +74,12 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   let remove t k =
     let b = bucket t k in
+    Mem.emit E.parse;
     Rw.write_acquire b.lock;
+    let loc = locate b k in
+    Mem.emit E.parse_end;
     let ok =
-      match locate b k with
+      match loc with
       | cell, Node n when n.key = k ->
           Mem.set cell (Mem.get n.next);
           true

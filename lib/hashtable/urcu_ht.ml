@@ -28,6 +28,7 @@ module Inner (Mem : Ascy_mem.Memory.S) = struct
     ssmem : S.t;
     resize_lock : L.t;
     defer_rcu : bool; (* wait for a grace period on removal? *)
+    rof : bool;
   }
 
   let mk_table n =
@@ -37,7 +38,7 @@ module Inner (Mem : Ascy_mem.Memory.S) = struct
       mask = n - 1;
     }
 
-  let create_inner ~defer_rcu ?hint ?read_only_fail:_ () =
+  let create_inner ~defer_rcu ?hint ?(read_only_fail = true) () =
     let n =
       Hash.pow2_at_least (match hint with Some h -> max 1 h | None -> !Ascy_core.Config.default_buckets) 1
     in
@@ -47,6 +48,7 @@ module Inner (Mem : Ascy_mem.Memory.S) = struct
       ssmem = S.create ~gc_threshold:!Ascy_core.Config.ssmem_threshold ();
       resize_lock = L.create_fresh ();
       defer_rcu;
+      rof = read_only_fail;
     }
 
   let rec chain_find c k =
@@ -111,7 +113,18 @@ module Inner (Mem : Ascy_mem.Memory.S) = struct
       L.release t.resize_lock
     end
 
+  (* Unlocked parse: the bucket chain is immutable, so a plain traversal
+     decides presence without synchronizing (read-only fail, ASCY3). *)
+  let chain_has t k =
+    let tbl = Mem.get t.tbl in
+    chain_find (Mem.get tbl.slots.(Hash.bucket k tbl.mask)) k <> None
+
   let insert t k v =
+    Mem.emit E.parse;
+    let quick_fail = t.rof && chain_has t k in
+    Mem.emit E.parse_end;
+    if quick_fail then false
+    else begin
     let tbl, i = lock_bucket t k in
     let c = Mem.get tbl.slots.(i) in
     if chain_find c k <> None then begin
@@ -125,8 +138,14 @@ module Inner (Mem : Ascy_mem.Memory.S) = struct
       if long then resize t;
       true
     end
+    end
 
   let remove t k =
+    Mem.emit E.parse;
+    let quick_fail = t.rof && not (chain_has t k) in
+    Mem.emit E.parse_end;
+    if quick_fail then false
+    else begin
     let tbl, i = lock_bucket t k in
     let c = Mem.get tbl.slots.(i) in
     if chain_find c k = None then begin
@@ -145,6 +164,7 @@ module Inner (Mem : Ascy_mem.Memory.S) = struct
       if t.defer_rcu then Rcu.synchronize t.rcu (* wait for ongoing readers *)
       else S.free t.ssmem k (* epoch-deferred instead *);
       true
+    end
     end
 
   let size t =

@@ -11,6 +11,7 @@
 
 module Make (Mem : Ascy_mem.Memory.S) = struct
   module L = Ascy_locks.Ttas.Make (Mem)
+  module E = Ascy_mem.Event
 
   (* Keys/values in plain immutable arrays; [lines] models their cache
      footprint (8 words per line) for the simulator. *)
@@ -52,12 +53,14 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     if found s i k then Some s.vals.(i) else None
 
   let insert t k v =
+    Mem.emit E.parse;
     let quick_fail =
       t.rof
       &&
       let s = Mem.get t.root in
       found s (lower_bound s k) k
     in
+    Mem.emit E.parse_end;
     if quick_fail then false
     else begin
       L.acquire t.lock;
@@ -81,12 +84,14 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     end
 
   let remove t k =
+    Mem.emit E.parse;
     let quick_fail =
       t.rof
       &&
       let s = Mem.get t.root in
       not (found s (lower_bound s k) k)
     in
+    Mem.emit E.parse_end;
     if quick_fail then false
     else begin
       L.acquire t.lock;

@@ -6,6 +6,7 @@
 module Make (Mem : Ascy_mem.Memory.S) = struct
   module L = Ascy_locks.Ttas.Make (Mem)
   module S = Ascy_ssmem.Ssmem.Make (Mem)
+  module E = Ascy_mem.Event
 
   type 'v node = Nil | Node of 'v info
   and 'v info = { key : int; value : 'v option; line : Mem.line; lock : L.t; next : 'v node Mem.r }
@@ -52,7 +53,9 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     res
 
   let insert t k v =
+    Mem.emit E.parse;
     let pred, curr = locate t k in
+    Mem.emit E.parse_end;
     let p = fields pred in
     match curr with
     | Node n when n.key = k ->
@@ -64,7 +67,9 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
         true
 
   let remove t k =
+    Mem.emit E.parse;
     let pred, curr = locate t k in
+    Mem.emit E.parse_end;
     let p = fields pred in
     match curr with
     | Node n when n.key = k ->

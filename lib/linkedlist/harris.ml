@@ -98,6 +98,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let rec insert t k v =
     Mem.emit E.parse;
     let cell, link, right = find t k in
+    Mem.emit E.parse_end;
     match right with
     | Node n when n.key = k -> false
     | _ ->
@@ -110,6 +111,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let rec remove t k =
     Mem.emit E.parse;
     let cell, link, right = find t k in
+    Mem.emit E.parse_end;
     match right with
     | Node n when n.key = k ->
         let nl = Mem.get n.next in

@@ -90,6 +90,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   let rec insert t k v =
     let cell, link, right = parse t k in
+    Mem.emit E.parse_end;
     match right with
     | Node n when n.key = k -> false (* read-only fail: ASCY3 *)
     | _ ->
@@ -102,6 +103,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
 
   let rec remove t k =
     let cell, link, right = parse t k in
+    Mem.emit E.parse_end;
     match right with
     | Node n when n.key = k ->
         let nl = Mem.get n.next in

@@ -84,6 +84,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let insert t k v =
     let rec attempt () =
       let pred, curr = parse t k in
+      Mem.emit E.parse_end;
       if t.rof && present curr k then false
       else begin
         let p = fields pred in
@@ -111,6 +112,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let remove t k =
     let rec attempt () =
       let pred, curr = parse t k in
+      Mem.emit E.parse_end;
       if t.rof && not (present curr k) then false
       else begin
         let p = fields pred in

@@ -101,6 +101,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let insert t k v =
     Mem.emit E.parse;
     let pred0, curr0 = parse t k in
+    Mem.emit E.parse_end;
     if t.rof && present curr0 k then false
     else begin
       L.acquire (fields pred0).lock;
@@ -120,6 +121,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let remove t k =
     Mem.emit E.parse;
     let pred0, curr0 = parse t k in
+    Mem.emit E.parse_end;
     if t.rof && not (present curr0 k) then false
     else begin
       L.acquire (fields pred0).lock;

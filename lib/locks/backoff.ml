@@ -3,6 +3,9 @@
     Keeps contended spinning from melting the simulated (or real)
     interconnect; every CSDS lock in ASCYLIB-OCaml spins through this. *)
 
+(* ascy-lint: allow-mutable-record — the backoff state is created and
+   mutated by a single spinning thread; it is never shared. *)
+
 module Make (Mem : Ascy_mem.Memory.S) = struct
   type t = { mutable cur : int; init : int; max : int }
 

@@ -38,6 +38,10 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let rec loop () =
       if Mem.get t = 0 && Mem.cas t 0 (-1) then ()
       else begin
+        (* a writer blocked here is waiting for the readers to drain —
+           the structural reader-blocks-writer waiting of the rw design,
+           not mere lock-holder contention *)
+        Mem.emit Ascy_mem.Event.wait;
         B.once b;
         loop ()
       end

@@ -14,8 +14,9 @@ let lock = 4 (* acquired a lock *)
 let parse = 5 (* started a parse phase (extra parses = parse - updates) *)
 let wait = 6 (* blocked/waited for a concurrent operation *)
 let gc_pass = 7 (* SSMEM garbage-collection pass *)
+let parse_end = 8 (* parse phase over: decision made, modify phase begins *)
 
-let count = 8
+let count = 9
 
 let name = function
   | 0 -> "restart"
@@ -26,4 +27,5 @@ let name = function
   | 5 -> "parse"
   | 6 -> "wait"
   | 7 -> "gc_pass"
+  | 8 -> "parse_end"
   | _ -> invalid_arg "Event.name"

@@ -128,11 +128,43 @@ type mem_counters = {
   mutable llc_remote : int;
   mutable mem : int;
   mutable rmw : int;
+  mutable writes : int; (* plain (non-RMW) stores *)
   mutable energy_nj : float;
 }
 
 let fresh_counters () =
-  { accesses = 0; l1 = 0; llc = 0; c2c_local = 0; c2c_remote = 0; llc_remote = 0; mem = 0; rmw = 0; energy_nj = 0.0 }
+  { accesses = 0; l1 = 0; llc = 0; c2c_local = 0; c2c_remote = 0; llc_remote = 0; mem = 0; rmw = 0; writes = 0; energy_nj = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Observers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** An observer over the committed access/event stream of a run, for
+    analysis passes (per-operation profiling, happens-before race
+    detection) that need every access but must not depend on the
+    off-by-default trace rings.  All callbacks fire only for simulated
+    threads (never during setup/prefill, where accesses are free) and in
+    commit order — [obs_access] at the moment the scheduler charges the
+    access, which is when its memory effect takes place.
+
+    - [obs_access tid kind line]: one committed access;
+    - [obs_rmw tid success]: outcome of the RMW ([cas] success or
+      [fetch_and_add], which always succeeds) whose [Rmw] access was just
+      reported for [tid];
+    - [obs_event tid code]: an {!Event} emission;
+    - [obs_op_start tid code] / [obs_op_end tid code]: the harness
+      operation brackets ({!Trace.op_start} / {!Trace.op_end}), delivered
+      even when tracing is off.
+
+    Transactional ([txn]) accesses are buffered, not committed
+    individually, and are not reported. *)
+type observer = {
+  obs_access : int -> access_kind -> int -> unit;
+  obs_rmw : int -> bool -> unit;
+  obs_event : int -> int -> unit;
+  obs_op_start : int -> int -> unit;
+  obs_op_end : int -> int -> unit;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Trace ring buffers                                                  *)
@@ -194,6 +226,7 @@ type t = {
   mutable cur : int; (* currently-executing simulated thread, or -1 *)
   mutable live : int;
   mutable txn : txn_state option;
+  mutable observer : observer option; (* analysis hook; None = zero cost *)
   tracing : bool; (* cheap flag checked on the access hot path *)
   trace : trace_buf array; (* per-thread rings; empty array when off *)
   (* fault-injection state; inert (any_fault = false) unless run is
@@ -256,6 +289,7 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads 
     cur = -1;
     live = 0;
     txn = None;
+    observer = None;
     any_fault = false;
     decisions = 0;
     pending_faults = [];
@@ -325,6 +359,8 @@ let access_cost sim th kind line =
   let c = th.core and s = th.socket in
   let cnt = sim.counters.(th.tid) in
   cnt.accesses <- cnt.accesses + 1;
+  (match kind with Write -> cnt.writes <- cnt.writes + 1 | Read | Rmw -> ());
+  (match sim.observer with Some o -> o.obs_access th.tid kind line | None -> ());
   let tcls = ref Tc_l1 in
   let have_copy = in_priv sim c line && (ls.owner = c || Ascy_util.Bits.mem ls.sharers c) in
   let lat =
@@ -494,6 +530,19 @@ let the_sim () =
   | Some sim -> sim
   | None -> failwith "Sim: no simulation installed (use Sim.with_sim)"
 
+(** Install (or clear) the analysis {!observer} of [sim].  The hook costs
+    one option test per access when unset. *)
+let set_observer sim obs = sim.observer <- obs
+
+(* Report an RMW outcome to the observer.  Called after the [Rmw] access
+   effect returned, i.e. after the access was committed and charged, on
+   the same (still-running) simulated thread. *)
+let notify_rmw ok =
+  match !current with
+  | Some sim when sim.cur >= 0 && sim.txn = None -> (
+      match sim.observer with Some o -> o.obs_rmw sim.cur ok | None -> ())
+  | _ -> ()
+
 (** The {!Memory.S} implementation backed by the installed simulation.
     Cells created while a simulation is installed but no simulated thread
     is running (structure setup) cost nothing and start uncached. *)
@@ -543,15 +592,20 @@ module Mem : Memory.S with type line = int = struct
     if r.v == expected then begin
       log_undo r;
       r.v <- desired;
+      notify_rmw true;
       true
     end
-    else false
+    else begin
+      notify_rmw false;
+      false
+    end
 
   let fetch_and_add r n =
     access Rmw r.line;
     let old = r.v in
     log_undo r;
     r.v <- old + n;
+    notify_rmw true;
     old
 
   let touch line = access Read line
@@ -574,8 +628,10 @@ module Mem : Memory.S with type line = int = struct
 
   let emit code =
     let sim = the_sim () in
-    if sim.cur >= 0 then
-      sim.events.(sim.cur).(code) <- sim.events.(sim.cur).(code) + 1
+    if sim.cur >= 0 then begin
+      sim.events.(sim.cur).(code) <- sim.events.(sim.cur).(code) + 1;
+      match sim.observer with Some o -> o.obs_event sim.cur code | None -> ()
+    end
 
   let txn f =
     match !current with
@@ -987,8 +1043,21 @@ module Trace = struct
         trace_push sim sim.cur sim.threads.(sim.cur).clock ev
     | _ -> ()
 
-  let op_start code = mark (T_op_start code)
-  let op_end code = mark (T_op_end code)
+  (* Op brackets also notify the installed observer, whether or not the
+     rings are on: profiling must not require (or pay for) full traces. *)
+  let notify_op f code =
+    match !current with
+    | Some sim when sim.cur >= 0 -> (
+        match sim.observer with Some o -> f o sim.cur code | None -> ())
+    | _ -> ()
+
+  let op_start code =
+    notify_op (fun o tid code -> o.obs_op_start tid code) code;
+    mark (T_op_start code)
+
+  let op_end code =
+    notify_op (fun o tid code -> o.obs_op_end tid code) code;
+    mark (T_op_end code)
 
   (** Events ever pushed to [tid]'s ring (retained or overwritten). *)
   let total sim tid = if sim.tracing then sim.trace.(tid).tr_total else 0
@@ -1064,10 +1133,49 @@ type run_stats = {
   fetch_remote : int;
   misses_mem : int;
   atomics : int;
+  stores : int;  (** plain (non-RMW) stores; stores + atomics = all writes *)
   energy_j : float;  (** dynamic + static energy over the makespan *)
   power_w : float;
   events : int array;
 }
+
+(** One thread's memory-event counters (the per-thread slice of
+    {!run_stats}): every coherence service class — the [Tc_*] trace
+    classes — plus plain stores and RMWs, accumulated unconditionally, so
+    stores-per-op and cache-line-transfer breakdowns never require the
+    trace rings. *)
+type thread_stats = {
+  t_tid : int;
+  t_accesses : int;
+  t_l1 : int;
+  t_llc : int;
+  t_c2c_local : int;
+  t_c2c_remote : int;
+  t_llc_remote : int;
+  t_mem : int;
+  t_atomics : int;
+  t_stores : int;
+  t_energy_nj : float;
+}
+
+(** Per-thread counters of the last {!run}, ascending tid. *)
+let per_thread_stats sim =
+  Array.mapi
+    (fun tid (c : mem_counters) ->
+      {
+        t_tid = tid;
+        t_accesses = c.accesses;
+        t_l1 = c.l1;
+        t_llc = c.llc;
+        t_c2c_local = c.c2c_local;
+        t_c2c_remote = c.c2c_remote;
+        t_llc_remote = c.llc_remote;
+        t_mem = c.mem;
+        t_atomics = c.rmw;
+        t_stores = c.writes;
+        t_energy_nj = c.energy_nj;
+      })
+    sim.counters
 
 (** Aggregate statistics of the last {!run}.  [makespan] is the value
     {!run} returned. *)
@@ -1084,6 +1192,7 @@ let stats sim ~makespan =
       agg.llc_remote <- agg.llc_remote + c.llc_remote;
       agg.mem <- agg.mem + c.mem;
       agg.rmw <- agg.rmw + c.rmw;
+      agg.writes <- agg.writes + c.writes;
       agg.energy_nj <- agg.energy_nj +. c.energy_nj)
     sim.counters;
   let busy_cores =
@@ -1106,6 +1215,7 @@ let stats sim ~makespan =
     fetch_remote = agg.llc_remote;
     misses_mem = agg.mem;
     atomics = agg.rmw;
+    stores = agg.writes;
     energy_j;
     power_w = (if seconds > 0.0 then energy_j /. seconds else 0.0);
     events;

@@ -96,6 +96,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let preds, plinks, succs = mk_arrays t in
     let rec attempt () =
       find t k preds plinks succs;
+      Mem.emit E.parse_end;
       match succs.(0) with
       | Node n when n.key = k -> false
       | _ ->
@@ -130,6 +131,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
                   else begin
                     Mem.emit E.cas_fail;
                     find t k preds plinks succs;
+                    Mem.emit E.parse_end;
                     link lvl
                   end
                 end
@@ -145,6 +147,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     Mem.emit E.parse;
     let preds, plinks, succs = mk_arrays t in
     find t k preds plinks succs;
+    Mem.emit E.parse_end;
     match succs.(0) with
     | Node n when n.key = k ->
         (* mark the tower top-down; level 0 decides success *)

@@ -109,6 +109,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let preds, plinks, succs = mk_arrays t in
     let rec attempt () =
       parse t k preds plinks succs;
+      Mem.emit E.parse_end;
       match succs.(0) with
       | Node n when n.key = k -> false (* ASCY3: read-only failure *)
       | _ ->
@@ -144,6 +145,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
                   else begin
                     Mem.emit E.cas_fail;
                     parse t k preds plinks succs;
+                    Mem.emit E.parse_end;
                     link lvl
                   end
                 end
@@ -158,6 +160,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
   let remove t k =
     let preds, plinks, succs = mk_arrays t in
     parse t k preds plinks succs;
+    Mem.emit E.parse_end;
     match succs.(0) with
     | Node n when n.key = k ->
         let h = Array.length n.nexts in

@@ -130,6 +130,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let preds = Array.make h t.head and succs = Array.make h Nil in
     let rec attempt () =
       let lfound = find t k preds succs in
+      Mem.emit E.parse_end;
       if lfound >= 0 then begin
         match succs.(lfound) with
         | Node n when not (Mem.get n.marked) ->
@@ -182,6 +183,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     in
     let rec attempt () =
       let lfound = find t k preds succs in
+      Mem.emit E.parse_end;
       let candidate =
         match (!victim_locked, lfound) with
         | Some v, _ -> Some v

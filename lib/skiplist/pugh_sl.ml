@@ -126,6 +126,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
       | Node n when n.key = k -> not (Mem.get n.deleted)
       | _ -> false
     in
+    Mem.emit E.parse_end;
     if t.rof && quick_present then false
     else begin
       let h = Lg.next t.levels in
@@ -214,6 +215,7 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let quick_absent =
       match cand with Node n when n.key = k -> Mem.get n.deleted | _ -> true
     in
+    Mem.emit E.parse_end;
     if t.rof && quick_absent then false
     else begin
       (* lock the victim first (larger key), then predecessors (smaller

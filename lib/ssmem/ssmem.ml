@@ -28,6 +28,10 @@
     frozen stamp no longer pins batches, and {!collect_all} drains
     whatever became reclaimable. *)
 
+(* ascy-lint: allow-mutable-record — [thread_state] is the calling
+   thread's private allocator state (indexed by [Mem.self ()]); only the
+   activity timestamps are shared, and those live in [Mem.r] cells. *)
+
 module Make (Mem : Ascy_mem.Memory.S) = struct
   type garbage = Garbage : 'a -> garbage
 

@@ -41,10 +41,40 @@ let synthetic_result () : R.result =
         fetch_remote = 5;
         misses_mem = 15;
         atomics = 30;
+        stores = 120;
         energy_j = 0.5;
         power_w = 500.0;
         events = Array.init Ascy_mem.Event.count (fun i -> i);
       };
+    thread_stats =
+      [|
+        {
+          Ascy_mem.Sim.t_tid = 0;
+          t_accesses = 500;
+          t_l1 = 450;
+          t_llc = 25;
+          t_c2c_local = 10;
+          t_c2c_remote = 5;
+          t_llc_remote = 3;
+          t_mem = 7;
+          t_atomics = 15;
+          t_stores = 60;
+          t_energy_nj = 0.25e9;
+        };
+        {
+          Ascy_mem.Sim.t_tid = 1;
+          t_accesses = 500;
+          t_l1 = 450;
+          t_llc = 25;
+          t_c2c_local = 10;
+          t_c2c_remote = 5;
+          t_llc_remote = 2;
+          t_mem = 8;
+          t_atomics = 15;
+          t_stores = 60;
+          t_energy_nj = 0.25e9;
+        };
+      |];
     latencies = lat;
     final_size = 17;
   }

@@ -13,6 +13,7 @@ let () =
         ("history", Test_history.suite);
         ("sct", Test_sct.suite);
         ("fault", Test_fault.suite);
+        ("analysis", Test_analysis.suite);
         ("internals", Test_internals.suite);
       ]
   in
