@@ -19,6 +19,15 @@ let mode =
   | Some "full" -> Full
   | _ -> Default
 
+(* Coherence cost model for every simulated run in the sweep.  Select
+   with ASCY_BENCH_MODEL=mesi|moesi|flat (default mesi).  "flat" prices
+   every access as an L1 hit — useless for measurement, but it turns the
+   sweep into a fast functional smoke test of the whole harness. *)
+let model =
+  match Sys.getenv_opt "ASCY_BENCH_MODEL" with
+  | Some m -> Ascy_mem.Sim.model_of_name m
+  | None -> Ascy_mem.Sim.default_model
+
 let scale n = match mode with Quick -> max 1 (n / 8) | Default -> n | Full -> n * 4
 
 (* Linked lists cost O(size) simulated accesses per op: scale their

@@ -44,7 +44,7 @@ let sweep family title =
           List.map
             (fun n ->
               let r =
-                R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                R.run ~model:Bench_config.model ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
                   ~ops_per_thread:Bench_config.ops_per_thread ()
               in
               Res.record_sim ~label:"sweep-avg-contention" r;
@@ -70,7 +70,7 @@ let contention family title ~initial ~update_pct label =
              (fun p ->
                let nthreads = min Bench_config.base_threads (Ascy_platform.Platform.hw_threads p) in
                let r =
-                 R.run ~latency:true x.Registry.maker ~platform:p ~nthreads ~workload:wl
+                 R.run ~model:Bench_config.model ~latency:true x.Registry.maker ~platform:p ~nthreads ~workload:wl
                    ~ops_per_thread:Bench_config.ops_per_thread ()
                in
                Res.record_sim ~label:(label ^ "-contention") r;

@@ -18,11 +18,11 @@ let run () =
     List.map
       (fun (x : Registry.entry) ->
         let r1 =
-          R.run x.Registry.maker ~platform ~nthreads:1 ~workload:wl
+          R.run ~model:Bench_config.model x.Registry.maker ~platform ~nthreads:1 ~workload:wl
             ~ops_per_thread:Bench_config.ops_per_thread ()
         in
         let r20 =
-          R.run x.Registry.maker ~platform ~nthreads:20 ~workload:wl
+          R.run ~model:Bench_config.model x.Registry.maker ~platform ~nthreads:20 ~workload:wl
             ~ops_per_thread:Bench_config.ops_per_thread ()
         in
         Res.record_sim ~label:"baseline-1thr" r1;

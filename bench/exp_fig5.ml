@@ -26,7 +26,7 @@ let run () =
           List.map
             (fun n ->
               let r =
-                R.run ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                R.run ~model:Bench_config.model ~latency:true x.Registry.maker ~platform ~nthreads:n ~workload:wl
                   ~ops_per_thread:Bench_config.ops_per_thread ()
               in
               Res.record_sim ~label:"sweep" r;
@@ -72,7 +72,7 @@ let run () =
         :: List.map
              (fun n ->
                let r =
-                 R.run x.Registry.maker ~platform ~nthreads:n ~workload:wl
+                 R.run ~model:Bench_config.model x.Registry.maker ~platform ~nthreads:n ~workload:wl
                    ~ops_per_thread:Bench_config.ops_per_thread ()
                in
                Rep.f2 (R.extra_parse_pct r))

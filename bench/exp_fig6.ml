@@ -31,7 +31,7 @@ let run () =
   let nthreads = Bench_config.base_threads in
   let async = Registry.by_name "ht-async" in
   let base =
-    R.run ~latency:true async.Registry.maker ~platform ~nthreads ~workload:wl
+    R.run ~model:Bench_config.model ~latency:true async.Registry.maker ~platform ~nthreads ~workload:wl
       ~ops_per_thread:Bench_config.ops_per_thread ()
   in
   let fail_hist (r : R.result) =
@@ -46,7 +46,7 @@ let run () =
   in
   let row name maker =
     let r =
-      R.run ~latency:true maker ~platform ~nthreads ~workload:wl
+      R.run ~model:Bench_config.model ~latency:true maker ~platform ~nthreads ~workload:wl
         ~ops_per_thread:Bench_config.ops_per_thread ()
     in
     (* [label] keeps the "-no" (read_only_fail=false) variants apart: the

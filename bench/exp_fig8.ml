@@ -27,11 +27,11 @@ let run () =
                  (fun rate ->
                    let wl = W.make ~initial ~update_pct:rate () in
                    let r1 =
-                     R.run x.Registry.maker ~platform:p ~nthreads:1 ~workload:wl
+                     R.run ~model:Bench_config.model x.Registry.maker ~platform:p ~nthreads:1 ~workload:wl
                        ~ops_per_thread:Bench_config.ops_per_thread ()
                    in
                    let r =
-                     R.run x.Registry.maker ~platform:p ~nthreads ~workload:wl
+                     R.run ~model:Bench_config.model x.Registry.maker ~platform:p ~nthreads ~workload:wl
                        ~ops_per_thread:Bench_config.ops_per_thread ()
                    in
                    Res.record_sim ~label:(Printf.sprintf "%d%%upd" rate) r1;

@@ -19,7 +19,7 @@ let run_one ~htm ~rate ~nthreads =
     ~finally:(fun () -> Ascy_core.Config.clht_htm := false)
     (fun () ->
       let wl = W.make ~initial:(Bench_config.tree_elems 2048) ~update_pct:rate () in
-      R.run clht.Registry.maker ~platform:Ascy_platform.Platform.haswell ~nthreads ~workload:wl
+      R.run ~model:Bench_config.model clht.Registry.maker ~platform:Ascy_platform.Platform.haswell ~nthreads ~workload:wl
         ~ops_per_thread:(2 * Bench_config.ops_per_thread) ())
 
 let run () =

@@ -23,7 +23,7 @@ let run () =
           Fun.protect
             ~finally:(fun () -> Ascy_core.Config.ssmem_threshold := 512)
             (fun () ->
-              R.run entry.Registry.maker ~platform:Ascy_platform.Platform.tilera ~nthreads:20
+              R.run ~model:Bench_config.model entry.Registry.maker ~platform:Ascy_platform.Platform.tilera ~nthreads:20
                 ~workload:wl ~ops_per_thread:(4 * Bench_config.ops_per_thread) ())
         in
         Res.record_sim ~label:(Printf.sprintf "gc-threshold-%d" threshold) r;

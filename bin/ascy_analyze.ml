@@ -1,6 +1,6 @@
 (* ASCY conformance sweep: observed vs declared ASCY1-4 vectors.
 
-   Usage: ascy_analyze [-out DIR] [NAME ...]
+   Usage: ascy_analyze [-out DIR] [-model NAME] [NAME ...]
 
    For every registry algorithm (or just the NAMEs given), profile every
    operation of two deterministic simulator runs — a contended 4-thread
@@ -20,14 +20,18 @@ module J = Ascy_util.Json
 
 let () =
   let out_dir = ref "." in
+  let model = ref Ascy_mem.Sim.default_model in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
     | "-out" :: d :: rest ->
         out_dir := d;
         parse rest
+    | "-model" :: m :: rest ->
+        model := Ascy_mem.Sim.model_of_name m;
+        parse rest
     | ("-h" | "-help" | "--help") :: _ ->
-        print_endline "usage: ascy_analyze [-out DIR] [NAME ...]";
+        print_endline "usage: ascy_analyze [-out DIR] [-model NAME] [NAME ...]";
         exit 0
     | name :: rest ->
         names := name :: !names;
@@ -39,11 +43,14 @@ let () =
     | [] -> Registry.all
     | names -> List.map Registry.by_name (List.rev names)
   in
-  Printf.printf "ASCY conformance sweep: %d algorithms, %s\n\n" (List.length entries)
-    "per-op phase profiles over contended (4T) + single-thread runs";
+  Printf.printf "ASCY conformance sweep: %d algorithms, %s%s\n\n" (List.length entries)
+    "per-op phase profiles over contended (4T) + single-thread runs"
+    (let mn = Ascy_mem.Sim.model_name_of !model in
+     if mn = Ascy_mem.Sim.model_name_of Ascy_mem.Sim.default_model then ""
+     else " [model " ^ mn ^ "]");
   Printf.printf "%-14s %-11s %-4s %-8s %-8s %7s %7s %6s %6s  %s\n" "name" "family" "sync"
     "declared" "observed" "ratio" "budget" "s.bad" "p.bad" "verdict";
-  let reports = Check.sweep ~entries () in
+  let reports = Check.sweep ~entries ~model:!model () in
   let failures = ref [] in
   List.iter
     (fun (r : Check.report) ->

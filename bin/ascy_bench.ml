@@ -11,7 +11,7 @@
 
 open Cmdliner
 
-let run list_algos algo mode platform threads initial updates ops latency seed duration =
+let run list_algos algo mode platform threads initial updates ops latency seed duration model =
   if list_algos then begin
     List.iter
       (fun (x : Ascylib.Registry.entry) ->
@@ -43,14 +43,25 @@ let run list_algos algo mode platform threads initial updates ops latency seed d
         | `Sim -> (
             match Ascy_platform.Platform.by_name platform with
             | exception Invalid_argument msg -> `Error (false, msg)
-            | p ->
+            | p -> (
+                match
+                  match model with
+                  | "auto" ->
+                      Ascy_mem.Sim.model_of_name (Ascy_platform.Platform.preferred_model p)
+                  | m -> Ascy_mem.Sim.model_of_name m
+                with
+                | exception Invalid_argument msg -> `Error (false, msg)
+                | m ->
                 let module R = Ascy_harness.Sim_run in
                 let r =
-                  R.run ~seed ~latency entry.Ascylib.Registry.maker ~platform:p ~nthreads:threads
-                    ~workload:wl ~ops_per_thread:ops ()
+                  R.run ~seed ~latency ~model:m entry.Ascylib.Registry.maker ~platform:p
+                    ~nthreads:threads ~workload:wl ~ops_per_thread:ops ()
                 in
-                Printf.printf "%s on simulated %s, %d threads, %d ops\n" r.R.algorithm r.R.platform
-                  r.R.nthreads r.R.ops;
+                Printf.printf "%s on simulated %s, %d threads, %d ops%s\n" r.R.algorithm
+                  r.R.platform r.R.nthreads r.R.ops
+                  (let mn = Ascy_mem.Sim.model_name_of m in
+                   if mn = Ascy_mem.Sim.model_name_of Ascy_mem.Sim.default_model then ""
+                   else " [model " ^ mn ^ "]");
                 Printf.printf "  throughput : %.3f Mops/s (simulated %.2f ms)\n" r.R.throughput_mops
                   (r.R.seconds *. 1e3);
                 Printf.printf "  misses/op  : %.2f   atomics/update: %.2f   extra parses: %.2f%%\n"
@@ -76,7 +87,7 @@ let run list_algos algo mode platform threads initial updates ops latency seed d
                   (fun i v -> if v > 0 then Printf.printf "%s=%d " (Ascy_mem.Event.name i) v)
                   r.R.stats.Ascy_mem.Sim.events;
                 print_newline ();
-                `Ok ()))
+                `Ok ())))
 
 let list_t = Arg.(value & flag & info [ "list" ] ~doc:"List all implementations and exit.")
 let algo = Arg.(value & opt string "ht-clht-lb" & info [ "a"; "algo" ] ~doc:"Algorithm name.")
@@ -98,12 +109,22 @@ let latency = Arg.(value & flag & info [ "l"; "latency" ] ~doc:"Record latency p
 let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Deterministic seed.")
 let duration = Arg.(value & opt float 1.0 & info [ "d"; "duration" ] ~doc:"Native run seconds.")
 
+let model =
+  Arg.(
+    value
+    & opt string "mesi"
+    & info [ "model" ]
+        ~doc:
+          "Coherence cost model: mesi (default, inclusive-LLC directory), moesi \
+           (Opteron-style non-inclusive), flat (uniform cost; not meaningful for \
+           measurement), or auto (the platform's preferred variant).")
+
 let cmd =
   let info_ = Cmd.info "ascy_bench" ~doc:"Run one ASCYLIB-OCaml experiment point" in
   Cmd.v info_
     Term.(
       ret
         (const run $ list_t $ algo $ mode $ platform $ threads $ initial $ updates $ ops $ latency
-       $ seed $ duration))
+       $ seed $ duration $ model))
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,6 @@
 (* Chaos sweep: observed vs declared progress guarantees under faults.
 
-   Usage: ascy_chaos [-out DIR] [-watchdog N] [NAME ...]
+   Usage: ascy_chaos [-out DIR] [-watchdog N] [-model NAME] [NAME ...]
 
    For every registry algorithm (or just the NAMEs given), crash-stop a
    victim thread after each of its store/CAS commit points in turn
@@ -26,6 +26,7 @@ module Ascy = Ascy_core.Ascy
 let () =
   let out_dir = ref "." in
   let watchdog = ref 2_000 in
+  let model = ref Ascy_mem.Sim.default_model in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -35,8 +36,11 @@ let () =
     | "-watchdog" :: n :: rest ->
         watchdog := int_of_string n;
         parse rest
+    | "-model" :: m :: rest ->
+        model := Ascy_mem.Sim.model_of_name m;
+        parse rest
     | ("-h" | "-help" | "--help") :: _ ->
-        print_endline "usage: ascy_chaos [-out DIR] [-watchdog N] [NAME ...]";
+        print_endline "usage: ascy_chaos [-out DIR] [-watchdog N] [-model NAME] [NAME ...]";
         exit 0
     | name :: rest ->
         names := name :: !names;
@@ -48,14 +52,17 @@ let () =
     | [] -> Registry.all
     | names -> List.map Registry.by_name (List.rev names)
   in
-  Printf.printf "chaos sweep: %d algorithms, %s\n\n" (List.length entries)
-    "crash-after-each-commit + finite-stall fault plans";
+  Printf.printf "chaos sweep: %d algorithms, %s%s\n\n" (List.length entries)
+    "crash-after-each-commit + finite-stall fault plans"
+    (let mn = Ascy_mem.Sim.model_name_of !model in
+     if mn = Ascy_mem.Sim.model_name_of Ascy_mem.Sim.default_model then ""
+     else " [model " ^ mn ^ "]");
   Printf.printf "%-14s %-11s %-4s %-12s %-12s %6s %6s  %s\n" "name" "family" "sync" "declared"
     "observed" "probes" "stall" "verdict";
   let failures = ref [] in
   List.iter
     (fun (entry : Registry.entry) ->
-      let r = Fault.classify ~watchdog:!watchdog entry in
+      let r = Fault.classify ~watchdog:!watchdog ~model:!model entry in
       let ok = Fault.matches r in
       Printf.printf "%-14s %-11s %-4s %-12s %-12s %6d %6s  %s\n%!" entry.Registry.name
         (Ascy.family_to_string entry.Registry.family)
@@ -99,8 +106,8 @@ let () =
                 r.Fault.crash_probes
           | Some (faults, violation, check, wd) ->
               let path = Filename.concat !out_dir ("FAULT_" ^ name ^ ".json") in
-              Fault.save_finding ~path ~watchdog:wd ~check (Fault.chaos_spec name) ~faults
-                ~violation;
+              Fault.save_finding ~path ~watchdog:wd ~check ~model:!model
+                (Fault.chaos_spec name) ~faults ~violation;
               wrote := true;
               Printf.printf "  %s: %s\n    plan: %s\n    counterexample: %s\n" name violation
                 (Fault.plan_str faults) path;

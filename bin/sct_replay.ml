@@ -67,7 +67,14 @@ let () =
   | exception Ascy_sct.Replay.Bad_schedule msg ->
       Printf.eprintf "error: bad schedule file %s: %s\n" path msg;
       exit 1
-  | _, faults, _ -> if faults <> [] then replay_fault path times);
+  | _, faults, meta ->
+      (* replays re-arm the recorded coherence model; say so when it is
+         not the default *)
+      let model = Ascy_harness.Engine.model_of_meta meta in
+      let mn = Ascy_mem.Sim.model_name_of model in
+      if mn <> Ascy_mem.Sim.model_name_of Ascy_mem.Sim.default_model then
+        Printf.printf "coherence model: %s (recorded in replay file)\n" mn;
+      if faults <> [] then replay_fault path times);
   match Ascy_harness.Sct_run.replay_file ~times path with
   | exception Ascy_sct.Replay.Bad_schedule msg ->
       Printf.eprintf "error: bad schedule file %s: %s\n" path msg;

@@ -77,8 +77,15 @@ let hint_for (entry : Registry.entry) cfg =
   | _ -> cfg.initial
 
 (** Profile one deterministic run of [entry] under [cfg]; returns every
-    operation's phase-split access profile. *)
-let profile_run (entry : Registry.entry) cfg =
+    operation's phase-split access profile.  [model] selects the
+    coherence cost model.  The profiles only count {e what} each
+    operation does (stores, CAS outcomes, waits, restarts), never how
+    long it takes — but the free-running schedule is latency-driven, so
+    a different model can interleave the contended run differently and
+    shift the contention-dependent counts.  The observed ASCY vectors
+    are expected (and CI-checked) to be model-invariant; the raw counts
+    are not. *)
+let profile_run ?(model = Sim.default_model) (entry : Registry.entry) cfg =
   let module A = (val entry.Registry.maker : Ascy_core.Set_intf.MAKER) in
   let module M = A (Sim.Mem) in
   let saved = !Ascy_core.Config.ssmem_threshold in
@@ -87,7 +94,7 @@ let profile_run (entry : Registry.entry) cfg =
   Fun.protect
     ~finally:(fun () -> Ascy_core.Config.ssmem_threshold := saved)
     (fun () ->
-      Sim.with_sim ~seed:cfg.seed ~platform:P.xeon20 ~nthreads:cfg.nthreads (fun sim ->
+      Sim.with_sim ~seed:cfg.seed ~platform:P.xeon20 ~model ~nthreads:cfg.nthreads (fun sim ->
           let t = M.create ~hint:(hint_for entry cfg) () in
           let rng0 = Ascy_util.Xorshift.create ((cfg.seed * 31) + 7) in
           let filled = ref 0 in
@@ -200,20 +207,20 @@ let avg_weighted_success ops =
 
 (** Weighted stores per successful update of [entry]'s family baseline
     under the single-threaded profiling workload. *)
-let baseline_wstores family =
-  avg_weighted_success (profile_run (Registry.async_of family) single_cfg)
+let baseline_wstores ?model family =
+  avg_weighted_success (profile_run ?model (Registry.async_of family) single_cfg)
 
 (** Derive [entry]'s observed compliance vector.  [baseline] avoids
     re-profiling the family baseline in sweeps. *)
-let classify ?baseline (entry : Registry.entry) =
-  let single = profile_run entry single_cfg in
+let classify ?baseline ?model (entry : Registry.entry) =
+  let single = profile_run ?model entry single_cfg in
   let contended =
     if entry.Registry.asynchronized || contended_cfg.nthreads = 1 then []
-    else profile_run entry contended_cfg
+    else profile_run ?model entry contended_cfg
   in
   let all = single @ contended in
   let base =
-    match baseline with Some b -> b | None -> baseline_wstores entry.Registry.family
+    match baseline with Some b -> b | None -> baseline_wstores ?model entry.Registry.family
   in
   let count f = List.fold_left (fun acc p -> if f p then acc + 1 else acc) 0 all in
   let first f = List.find_opt f all in
@@ -276,17 +283,17 @@ let classify ?baseline (entry : Registry.entry) =
 
 (** Classify every registry algorithm, profiling each family baseline
     once.  Returns the reports in registry order. *)
-let sweep ?(entries = Registry.all) () =
+let sweep ?(entries = Registry.all) ?model () =
   let baselines = Hashtbl.create 4 in
   let baseline_for family =
     match Hashtbl.find_opt baselines family with
     | Some b -> b
     | None ->
-        let b = baseline_wstores family in
+        let b = baseline_wstores ?model family in
         Hashtbl.add baselines family b;
         b
   in
-  List.map (fun e -> classify ~baseline:(baseline_for e.Registry.family) e) entries
+  List.map (fun e -> classify ~baseline:(baseline_for e.Registry.family) ?model e) entries
 
 (* ------------------------------------------------------------------ *)
 (* Serialization (ASCY_CHECK.json)                                     *)

@@ -107,7 +107,7 @@ let crash_tids_of faults =
     back could spin forever.  Deterministic: identical inputs give the
     identical outcome, including description strings. *)
 let run_spec ?(prefix = [||]) ?sched ?(watchdog = 2_000) ?(max_steps = 200_000)
-    ?(check = true) ?on_step ~faults (spec : spec) =
+    ?(check = true) ?on_step ?(model = Sim.default_model) ~faults (spec : spec) =
   let nthreads = spec.Sct_run.nthreads in
   let crash_tids = crash_tids_of faults in
   let done_ops = Array.make nthreads 0 in
@@ -128,15 +128,28 @@ let run_spec ?(prefix = [||]) ?sched ?(watchdog = 2_000) ?(max_steps = 200_000)
            {
              at = !decisions;
              spun =
-               Array.to_list runnable
-               |> List.filter_map (fun (tid, a) ->
-                      if List.mem tid crash_tids then None else Some (tid, action_str a));
+               (let spun = ref [] in
+                for i = Sim.runnable_count runnable - 1 downto 0 do
+                  let tid = Sim.runnable_tid runnable i in
+                  if not (List.mem tid crash_tids) then
+                    spun := (tid, action_str (Sim.runnable_action runnable i)) :: !spun
+                done;
+                !spun);
            });
     inner runnable
   in
   let (module A : Ascy_core.Set_intf.MAKER) = (Registry.by_name spec.Sct_run.name).Registry.maker in
   let module M = A (Sim.Mem) in
-  Sim.with_sim ~seed:1 ~platform:spec.Sct_run.platform ~nthreads (fun sim ->
+  let cfg =
+    {
+      (Engine.default ~platform:spec.Sct_run.platform ~nthreads) with
+      scheduler = Some sched;
+      faults;
+      model;
+    }
+  in
+  Engine.with_session cfg (fun session ->
+      let sim = session.Engine.sim in
       (* build + prefill outside simulated time, like Sct_run *)
       let t = M.create ~hint:(max 8 (List.length spec.Sct_run.initial)) () in
       List.iter (fun k -> ignore (M.insert t k (-1))) spec.Sct_run.initial;
@@ -157,7 +170,7 @@ let run_spec ?(prefix = [||]) ?sched ?(watchdog = 2_000) ?(max_steps = 200_000)
           spec.Sct_run.script.(tid)
       in
       let fail =
-        match Sim.run ~scheduler:sched ~faults sim (Array.init nthreads body) with
+        match Engine.run session (Array.init nthreads body) with
         | _ -> None
         | exception Wedged_exn { at; spun } ->
             Some
@@ -241,7 +254,7 @@ let run_spec ?(prefix = [||]) ?sched ?(watchdog = 2_000) ?(max_steps = 200_000)
     (the acquire is an RMW), mid-protocol for lock-free ones.  Derived
     from a fault-free probe run under the same (default) schedule, so
     the indices are exact for subsequent fault runs. *)
-let crash_candidates ?(max_candidates = 48) ~victim (spec : spec) =
+let crash_candidates ?(max_candidates = 48) ?model ~victim (spec : spec) =
   let cands = ref [] in
   let on_step ~step ~runnable ~chosen =
     if chosen = victim && List.length !cands < max_candidates then
@@ -249,7 +262,7 @@ let crash_candidates ?(max_candidates = 48) ~victim (spec : spec) =
       | Sim.A_access ((Sim.Write | Sim.Rmw), _) -> cands := (step + 1) :: !cands
       | _ -> ()
   in
-  ignore (run_spec ~on_step ~check:false ~faults:[] spec);
+  ignore (run_spec ~on_step ~check:false ?model ~faults:[] spec);
   List.rev !cands
 
 (* ------------------------------------------------------------------ *)
@@ -295,8 +308,8 @@ let matches r =
     it; observe.  For declared-blocking designs the sweep stops at the
     first wedge (the expected outcome); declared-non-blocking designs
     must survive every placement, so all are run. *)
-let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) (entry : Registry.entry)
-    =
+let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) ?model
+    (entry : Registry.entry) =
   let spec = chaos_spec entry.Registry.name in
   let victim = 0 in
   let declared = entry.Registry.progress in
@@ -305,7 +318,7 @@ let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) (entry : 
      reading it back could spin on the held lock); asynchronized
      structures are incorrect under any concurrency by design *)
   let check_crash = declared = Ascy.Non_blocking && not entry.Registry.asynchronized in
-  let cands = crash_candidates ~max_candidates ~victim spec in
+  let cands = crash_candidates ~max_candidates ?model ~victim spec in
   let witness = ref None in
   let oracle_failures = ref [] in
   let probes = ref 0 in
@@ -314,7 +327,7 @@ let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) (entry : 
        (fun d ->
          let faults = [ { Sim.fe_at = d; fe_tid = victim; fe_fault = Sim.F_crash } ] in
          incr probes;
-         let out = run_spec ~watchdog ~check:check_crash ~faults spec in
+         let out = run_spec ~watchdog ~check:check_crash ?model ~faults spec in
          match (out.verdict, out.violation) with
          | Wedged _, _ ->
              witness := Some (faults, Option.value ~default:"wedged" out.violation);
@@ -331,7 +344,7 @@ let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) (entry : 
   let stall_out =
     run_spec ~watchdog:(watchdog + (2 * stall))
       ~check:(not entry.Registry.asynchronized)
-      ~faults:stall_plan spec
+      ?model ~faults:stall_plan spec
   in
   {
     entry;
@@ -354,12 +367,12 @@ let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) (entry : 
     is the progress watchdog.  Returns the first (plan, finding) that
     wedges, with the finding's schedule replayable alongside the plan. *)
 let explore_crash ?mode ?(bounds = Explorer.default_bounds) ?(watchdog = 1_000)
-    ?(max_candidates = 8) ~victim (spec : spec) =
-  let cands = crash_candidates ~max_candidates ~victim spec in
+    ?(max_candidates = 8) ?model ~victim (spec : spec) =
+  let cands = crash_candidates ~max_candidates ?model ~victim spec in
   List.find_map
     (fun d ->
       let faults = [ { Sim.fe_at = d; fe_tid = victim; fe_fault = Sim.F_crash } ] in
-      let run ~sched = (run_spec ~sched ~watchdog ~check:false ~faults spec).violation in
+      let run ~sched = (run_spec ~sched ~watchdog ~check:false ?model ~faults spec).violation in
       let report = Explorer.explore ?mode ~bounds ~run () in
       match report.Explorer.failure with Some f -> Some (faults, f) | None -> None)
     cands
@@ -371,8 +384,8 @@ let explore_crash ?mode ?(bounds = Explorer.default_bounds) ?(watchdog = 1_000)
 (** Write a self-contained chaos counterexample: the fault plan, the
     (possibly empty) schedule prefix, the spec, and the expected
     violation.  Loadable by {!replay_file} and [bin/sct_replay]. *)
-let save_finding ~path ?(prefix = [||]) ?(watchdog = 2_000) ?(check = false) (spec : spec)
-    ~faults ~violation =
+let save_finding ~path ?(prefix = [||]) ?(watchdog = 2_000) ?(check = false)
+    ?(model = Sim.default_model) (spec : spec) ~faults ~violation =
   Replay.save ~path ~faults ~prefix
     ~meta:
       (Sct_run.spec_meta spec
@@ -380,7 +393,8 @@ let save_finding ~path ?(prefix = [||]) ?(watchdog = 2_000) ?(check = false) (sp
           ("violation", J.String violation);
           ("watchdog", J.Int watchdog);
           ("oracles", J.Bool check);
-        ])
+        ]
+      @ Engine.model_meta model)
     ()
 
 (** Load a chaos counterexample and replay it [times] times; returns the
@@ -396,7 +410,8 @@ let replay_file ?(times = 2) path =
     match List.assoc_opt "watchdog" meta with Some (J.Int w) -> w | _ -> 2_000
   in
   let check = match List.assoc_opt "oracles" meta with Some (J.Bool b) -> b | _ -> false in
+  let model = Engine.model_of_meta meta in
   let results =
-    List.init times (fun _ -> (run_spec ~prefix ~watchdog ~check ~faults spec).violation)
+    List.init times (fun _ -> (run_spec ~prefix ~watchdog ~check ~model ~faults spec).violation)
   in
   (spec, faults, expected, results)

@@ -72,8 +72,12 @@ let keys_of spec =
 (** [run_once maker spec ~sched] executes the spec once under [sched]
     and returns [Some description] iff an oracle rejects the run.
     Deterministic: the same schedule yields the identical result,
-    including the description string. *)
-let run_once ?(faults = []) ?(races = false) (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
+    including the description string.  [model] selects the coherence
+    cost model: under a controlled scheduler the program's behavior is
+    latency-independent, so oracle verdicts are model-invariant — [flat]
+    gives the same verdicts faster. *)
+let run_once ?(faults = []) ?(races = false) ?(model = Sim.default_model)
+    (module A : Ascy_core.Set_intf.MAKER) spec ~sched =
   let module M = A (Sim.Mem) in
   (* History timestamps must reflect the *scheduling order*: [Sim.now]
      is the executing thread's local clock, which tracks global order
@@ -87,19 +91,21 @@ let run_once ?(faults = []) ?(races = false) (module A : Ascy_core.Set_intf.MAKE
     incr clock;
     sched runnable
   in
-  Sim.with_sim ~seed:1 ~platform:spec.platform ~nthreads:spec.nthreads (fun sim ->
+  let cfg =
+    {
+      (Engine.default ~platform:spec.platform ~nthreads:spec.nthreads) with
+      scheduler = Some sched;
+      faults;
+      races;
+      model;
+    }
+  in
+  Engine.with_session cfg (fun session ->
+      let sim = session.Engine.sim in
       (* build + prefill outside simulated time, like Sim_run *)
       let t = M.create ~hint:(max 8 (List.length spec.initial)) () in
       List.iter (fun k -> ignore (M.insert t k (-1))) spec.initial;
       Sim.warm sim;
-      let detector =
-        if races then begin
-          let d = Ascy_analysis.Race.create ~nthreads:spec.nthreads in
-          Sim.set_observer sim (Some (Ascy_analysis.Race.observer d));
-          Some d
-        end
-        else None
-      in
       let h = History.create () in
       List.iter (History.add_initial h) spec.initial;
       let net = Hashtbl.create 32 in
@@ -131,7 +137,7 @@ let run_once ?(faults = []) ?(races = false) (module A : Ascy_core.Set_intf.MAKE
             M.op_done t)
           spec.script.(tid)
       in
-      match Sim.run ~scheduler:sched ~faults sim (Array.init spec.nthreads body) with
+      match Engine.run session (Array.init spec.nthreads body) with
       | exception Sim.Thread_failure (_, Sim.Thread_killed, _) ->
           (* fault-induced termination that resurfaced through wrapping
              test code: deliberate, not a bug *)
@@ -139,14 +145,9 @@ let run_once ?(faults = []) ?(races = false) (module A : Ascy_core.Set_intf.MAKE
       | exception Sim.Thread_failure (tid, e, _) ->
           Some (Printf.sprintf "thread %d crashed: %s" tid (Printexc.to_string e))
       | _ -> (
-          match detector with
-          | Some d when Ascy_analysis.Race.total d > 0 ->
-              let first = List.hd (Ascy_analysis.Race.races d) in
-              Some
-                (Printf.sprintf "%d distinct data race(s); first: %s"
-                   (Ascy_analysis.Race.total d)
-                   (Ascy_analysis.Race.describe first))
-          | _ -> (
+          match Engine.race_violation session with
+          | Some desc -> Some desc
+          | None -> (
           match M.validate t with
           | Error msg -> Some (Printf.sprintf "structural invariant broken: %s" msg)
           | Ok () -> (
@@ -175,7 +176,7 @@ let run_once ?(faults = []) ?(races = false) (module A : Ascy_core.Set_intf.MAKE
 
 (* A prefix-replay check with its own step budget, so minimizing or
    replaying a livelock counterexample cannot itself livelock. *)
-let check_prefix ?races maker spec ~max_steps prefix =
+let check_prefix ?races ?model maker spec ~max_steps prefix =
   let steps = ref 0 in
   let inner = Scheduler.prefix_scheduler ~prefix () in
   let sched runnable =
@@ -183,7 +184,7 @@ let check_prefix ?races maker spec ~max_steps prefix =
     if !steps > max_steps then raise (Explorer.Step_limit !steps);
     inner runnable
   in
-  try run_once ?races maker spec ~sched
+  try run_once ?races ?model maker spec ~sched
   with Explorer.Step_limit d ->
     Some (Printf.sprintf "step limit %d exceeded (possible livelock or starvation)" d)
 
@@ -194,21 +195,26 @@ type finding = {
   min_violation : string;  (** oracle description under the minimized prefix *)
 }
 
-(** [explore ?mode ?bounds ?races spec] systematically explores the
-    spec's schedule space ([~races:true] additionally runs the
+(** [explore ?mode ?bounds ?races ?model spec] systematically explores
+    the spec's schedule space ([~races:true] additionally runs the
     happens-before race detector over every schedule).  On failure the
     counterexample is minimized; the report carries exploration
-    statistics either way. *)
-let explore ?mode ?(bounds = Explorer.default_bounds) ?races spec =
+    statistics either way.  [model] selects the coherence model for
+    every run (controlled schedules make verdicts, schedule counts and
+    minimized counterexamples model-invariant; [flat] explores the same
+    space faster). *)
+let explore ?mode ?(bounds = Explorer.default_bounds) ?races ?model spec =
   let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
   let report =
-    Explorer.explore ?mode ~bounds ~run:(fun ~sched -> run_once ?races maker spec ~sched) ()
+    Explorer.explore ?mode ~bounds
+      ~run:(fun ~sched -> run_once ?races ?model maker spec ~sched)
+      ()
   in
   let finding =
     match report.Explorer.failure with
     | None -> None
     | Some f ->
-        let check = check_prefix ?races maker spec ~max_steps:bounds.Explorer.max_steps in
+        let check = check_prefix ?races ?model maker spec ~max_steps:bounds.Explorer.max_steps in
         let minimized = Replay.minimize ~check f.Explorer.f_schedule in
         let min_violation =
           match check minimized with
@@ -291,13 +297,16 @@ let spec_of_meta meta =
 
 (** Write a self-contained counterexample file: minimized schedule plus
     everything needed to rebuild the run ({!spec_meta}).  Pass the same
-    [?races] the finding was explored with: the flag is stored in the
-    file so {!replay_file} re-arms the race oracle. *)
-let save_finding ?(races = false) ~path spec finding =
+    [?races] and [?model] the finding was explored with: both are stored
+    in the file so {!replay_file} re-arms the race oracle and the
+    coherence model (the model field is omitted — and the file is
+    byte-identical to the pre-model format — when it is the default). *)
+let save_finding ?(races = false) ?(model = Sim.default_model) ~path spec finding =
   Replay.save ~path
     ~meta:
       (spec_meta spec
-      @ [ ("violation", J.String finding.min_violation); ("races", J.Bool races) ])
+      @ [ ("violation", J.String finding.min_violation); ("races", J.Bool races) ]
+      @ Engine.model_meta model)
     ~prefix:finding.minimized ()
 
 (** Load a counterexample file and replay it [times] times; returns the
@@ -314,8 +323,9 @@ let replay_file ?(times = 2) ?(max_steps = Explorer.default_bounds.Explorer.max_
   let races =
     match List.assoc_opt "races" meta with Some (J.Bool b) -> b | _ -> false
   in
+  let model = Engine.model_of_meta meta in
   let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
   let results =
-    List.init times (fun _ -> check_prefix ~races maker spec ~max_steps prefix)
+    List.init times (fun _ -> check_prefix ~races ~model maker spec ~max_steps prefix)
   in
   (spec, expected, results)

@@ -48,20 +48,24 @@ type result = {
 let op_code = function Workload.Search -> 0 | Workload.Insert -> 1 | Workload.Remove -> 2
 let op_name = function 0 -> "search" | 1 -> "insert" | 2 -> "remove" | c -> string_of_int c
 
-(** [run ?seed ?latency ?history ?trace_capacity (module A) ~platform
-    ~nthreads ~workload ~ops_per_thread] executes the workload
+(** [run ?seed ?latency ?history ?trace_capacity ?model (module A)
+    ~platform ~nthreads ~workload ~ops_per_thread] executes the workload
     deterministically on the simulated machine and returns every metric
     of one experiment point.  [latency = true] records a per-operation
     latency sample (ns).  [history] records every operation's
     invocation/response cycle stamps and result for linearizability
     checking ({!History.check}); prefilled keys are registered as the
     history's initial state.  [trace_capacity] enables the simulator's
-    per-thread trace rings ({!Ascy_mem.Sim.Trace}). *)
-let run ?(seed = 1) ?(latency = false) ?history ?trace_capacity
-    (module A : Ascy_core.Set_intf.MAKER) ~platform ~nthreads ~(workload : Workload.t)
-    ~ops_per_thread () =
+    per-thread trace rings ({!Ascy_mem.Sim.Trace}).  [model] selects the
+    coherence cost model (default MESI; measurements under [flat] are
+    meaningless by construction — see {!Ascy_mem.Coh_flat}). *)
+let run ?(seed = 1) ?(latency = false) ?history ?(trace_capacity = 0)
+    ?(model = Sim.default_model) (module A : Ascy_core.Set_intf.MAKER) ~platform ~nthreads
+    ~(workload : Workload.t) ~ops_per_thread () =
   let module M = A (Sim.Mem) in
-  Sim.with_sim ~seed ?trace_capacity ~platform ~nthreads (fun sim ->
+  let cfg = { (Engine.default ~platform ~nthreads) with seed; trace_capacity; model } in
+  Engine.with_session cfg (fun session ->
+      let sim = session.Engine.sim in
       (* build + prefill happen outside simulated time *)
       let t = M.create ~hint:workload.Workload.initial () in
       let rng0 = Ascy_util.Xorshift.create (seed * 31 + 7) in
@@ -129,7 +133,7 @@ let run ?(seed = 1) ?(latency = false) ?history ?trace_capacity
           M.op_done t
         done
       in
-      let makespan = Sim.run sim (Array.init nthreads body) in
+      let makespan = Engine.run session (Array.init nthreads body) in
       let stats = Sim.stats sim ~makespan in
       let thread_stats = Sim.per_thread_stats sim in
       let ops = nthreads * ops_per_thread in

@@ -1,125 +1,78 @@
-(** A deterministic discrete-event multicore simulator with a MESI-like
-    cache-coherence cost model, built on OCaml 5 effect handlers.
+(** A deterministic discrete-event multicore simulator built on OCaml 5
+    effect handlers, with a pluggable cache-coherence cost model.
 
     Simulated threads are ordinary OCaml closures written against
     {!Memory.S}; each shared-memory access performs an effect.  The
     scheduler always resumes the thread with the smallest local clock and
-    charges the access a latency taken from the {!Ascy_platform.Platform}
-    model:
+    charges the access a latency taken from the installed coherence
+    model ({!Cohmodel.S}):
 
-    - a per-core private cache (direct-mapped tag array sized like L1+L2),
-    - a per-socket LLC (direct-mapped tag array),
-    - a directory per line tracking the owning core (modified state) and
-      the sharer set,
-    - costs for private hits, local LLC hits, in-socket and cross-socket
-      dirty-line transfers, remote clean fetches and DRAM.
+    - {!Coh_mesi} (default): a MESI-like inclusive-LLC directory model —
+      per-core private caches, per-socket LLCs, a directory per line
+      tracking owner and sharer set, with costs for private hits, local
+      LLC hits, in-socket and cross-socket dirty-line transfers, remote
+      clean fetches and DRAM;
+    - {!Coh_flat}: O(1) uniform cost, for SCT/analysis runs where timing
+      fidelity is irrelevant;
+    - {!Coh_moesi}: an Opteron-style non-inclusive/Owned-state variant
+      for cross-platform shape reproduction.
 
-    This models exactly the mechanism the paper identifies as the
-    scalability limiter — stores to shared lines invalidate copies and
-    turn other threads' future loads into coherence misses — so the
-    relative throughput/latency/power shapes of CSDS algorithms are
-    preserved even though no real multicore is present.
+    The MESI model captures exactly the mechanism the paper identifies
+    as the scalability limiter — stores to shared lines invalidate
+    copies and turn other threads' future loads into coherence misses —
+    so the relative throughput/latency/power shapes of CSDS algorithms
+    are preserved even though no real multicore is present.
 
     The same machinery doubles as a deterministic concurrency tester:
     running a workload under different seeds (schedule jitter) explores
-    many interleavings reproducibly. *)
+    many interleavings reproducibly, and a controlled [~scheduler] turns
+    the simulator into a systematic concurrency tester.
+
+    Layering (see DESIGN.md): this module owns threads, continuations,
+    scheduling, faults and the counters/trace/observer plumbing; shared
+    types live in {!Simtypes} (re-exported here, so callers only ever
+    name [Sim]); everything line-state/latency-class-specific lives
+    behind {!Cohmodel.S}. *)
 
 module P = Ascy_platform.Platform
 
-type access_kind = Read | Write | Rmw
-
-type pending =
-  | P_access of access_kind * int
-  | P_work of int
-  | P_none
-
-type step = Finished | Blocked
-
 (* ------------------------------------------------------------------ *)
-(* Scheduler abstraction                                               *)
+(* Re-exports from the shared types layer                              *)
 (* ------------------------------------------------------------------ *)
 
-(** What a runnable thread will do when next resumed (one-step
-    lookahead).  [A_start] means the thread's body has not run yet, so
-    its first action is unknown; starting a thread performs no shared
-    access and is independent of everything. *)
-type action = A_start | A_access of access_kind * int | A_work of int
+type access_kind = Simtypes.access_kind = Read | Write | Rmw
 
-(** [dependent a b] — can the order of [a] and [b] (by different
-    threads) affect the memory state or either thread's results?  Two
-    accesses conflict iff they touch the same line and at least one
-    writes; local work and thread starts never conflict.  This is the
-    per-line read/write dependency relation systematic concurrency
-    testing (DPOR) prunes with. *)
-let dependent a b =
-  match (a, b) with
-  | A_access (k1, l1), A_access (k2, l2) -> l1 = l2 && not (k1 = Read && k2 = Read)
-  | _ -> false
+type action = Simtypes.action =
+  | A_start
+  | A_access of access_kind * int
+  | A_work of int
 
-(** A controlled scheduler: given the runnable threads (ascending tid)
-    paired with their next actions, return the tid to resume.  Called at
-    every resume-decision point of {!run}; choosing a tid not in the
-    array is an error.  The default (no scheduler) policy resumes the
-    thread with the smallest local clock, which models free-running
-    hardware; a controlled scheduler instead explores or replays a
-    specific interleaving. *)
-type scheduler = (int * action) array -> int
+let dependent = Simtypes.dependent
 
-(* ------------------------------------------------------------------ *)
-(* Fault injection                                                     *)
-(* ------------------------------------------------------------------ *)
+type runnable = Simtypes.runnable = {
+  mutable rn : int;
+  r_tids : int array;
+  r_acts : action array;
+}
 
-(** Injectable faults.  Faults are placed at {e decision points} — the
-    same coordinate system controlled schedules use (one decision per
-    executed simulator step), so a fault plan composes with a schedule
-    prefix into a single replayable artifact and the SCT explorer can
-    place faults as systematically as it places context switches.
+let runnable_count = Simtypes.runnable_count
+let runnable_tid = Simtypes.runnable_tid
+let runnable_action = Simtypes.runnable_action
+let runnable_find = Simtypes.runnable_find
+let runnable_copy = Simtypes.runnable_copy
 
-    - {!F_crash}: crash-stop.  The thread dies at the decision point and
-      never runs again: whatever it held (locks, claimed slots, frozen
-      SSMEM epochs) stays held forever.
-    - {!F_stall n}: the thread is descheduled for the next [n] decisions,
-      then resumes — a transparent delay (preemption by the OS, a page
-      fault, an SMI).
-    - {!F_numa_slow}: a socket's memory-access latencies are multiplied
-      by [factor] for the next [window] decisions — a transient NUMA/
-      interconnect degradation.  Only observable under the default
-      (free-running) policy, where latency decides the schedule. *)
-type fault =
+type scheduler = Simtypes.scheduler
+
+type fault = Simtypes.fault =
   | F_crash
   | F_stall of int
   | F_numa_slow of { factor : float; window : int }
 
-(** One fault of a plan: [fe_fault] applies once [fe_at] decisions have
-    executed (before the [fe_at]-th next decision is taken).  [fe_tid]
-    is a thread id for [F_crash]/[F_stall] and a socket id for
-    [F_numa_slow]. *)
-type fault_event = { fe_at : int; fe_tid : int; fe_fault : fault }
+type fault_event = Simtypes.fault_event = { fe_at : int; fe_tid : int; fe_fault : fault }
 
-(** Delivered into a thread being crash-stopped, so test-level
-    [Fun.protect] cleanup can run deterministically.  CSDS code installs
-    no such handlers, which is the point: the corpse's locks stay
-    locked.  Harness oracles must treat this exception as an injected
-    fault, never as an algorithm bug. *)
-exception Thread_killed
+exception Thread_killed = Simtypes.Thread_killed
 
-type thread = {
-  tid : int;
-  core : int;
-  socket : int;
-  instr_scale : float; (* SMT issue-sharing multiplier for this thread *)
-  mutable clock : int; (* local time, cycles *)
-  mutable pend : pending;
-  mutable cont : (unit, step) Effect.Deep.continuation option;
-  mutable finished : bool;
-  mutable crashed : bool; (* crash-stopped by an injected fault *)
-  mutable stalled_until : int; (* not runnable until this decision count *)
-}
-
-type line_state = { mutable owner : int; sharers : Ascy_util.Bits.t }
-
-(* Per-thread memory-event counters. *)
-type mem_counters = {
+type mem_counters = Simtypes.mem_counters = {
   mutable accesses : int;
   mutable l1 : int;
   mutable llc : int;
@@ -128,37 +81,21 @@ type mem_counters = {
   mutable llc_remote : int;
   mutable mem : int;
   mutable rmw : int;
-  mutable writes : int; (* plain (non-RMW) stores *)
+  mutable writes : int;
   mutable energy_nj : float;
 }
 
-let fresh_counters () =
-  { accesses = 0; l1 = 0; llc = 0; c2c_local = 0; c2c_remote = 0; llc_remote = 0; mem = 0; rmw = 0; writes = 0; energy_nj = 0.0 }
+let fresh_counters = Simtypes.fresh_counters
 
-(* ------------------------------------------------------------------ *)
-(* Observers                                                           *)
-(* ------------------------------------------------------------------ *)
+type trace_class = Simtypes.trace_class =
+  | Tc_l1
+  | Tc_llc
+  | Tc_c2c_local
+  | Tc_c2c_remote
+  | Tc_llc_remote
+  | Tc_mem
 
-(** An observer over the committed access/event stream of a run, for
-    analysis passes (per-operation profiling, happens-before race
-    detection) that need every access but must not depend on the
-    off-by-default trace rings.  All callbacks fire only for simulated
-    threads (never during setup/prefill, where accesses are free) and in
-    commit order — [obs_access] at the moment the scheduler charges the
-    access, which is when its memory effect takes place.
-
-    - [obs_access tid kind line]: one committed access;
-    - [obs_rmw tid success]: outcome of the RMW ([cas] success or
-      [fetch_and_add], which always succeeds) whose [Rmw] access was just
-      reported for [tid];
-    - [obs_event tid code]: an {!Event} emission;
-    - [obs_op_start tid code] / [obs_op_end tid code]: the harness
-      operation brackets ({!Trace.op_start} / {!Trace.op_end}), delivered
-      even when tracing is off.
-
-    Transactional ([txn]) accesses are buffered, not committed
-    individually, and are not reported. *)
-type observer = {
+type observer = Simtypes.observer = {
   obs_access : int -> access_kind -> int -> unit;
   obs_rmw : int -> bool -> unit;
   obs_event : int -> int -> unit;
@@ -166,20 +103,49 @@ type observer = {
   obs_op_end : int -> int -> unit;
 }
 
+let compose_observers = Simtypes.compose_observers
+
 (* ------------------------------------------------------------------ *)
-(* Trace ring buffers                                                  *)
+(* Coherence-model selection                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Where an access was served from (which coherence path it took). *)
-type trace_class = Tc_l1 | Tc_llc | Tc_c2c_local | Tc_c2c_remote | Tc_llc_remote | Tc_mem
+(** A coherence cost model, selectable per simulation ([?model] on
+    {!create} / {!with_sim}).  The default, {!Models.mesi}, reproduces
+    the repository's historical behavior bit-for-bit; see {!Models} for
+    the registry. *)
+type model = Cohmodel.spec
 
-let trace_class_name = function
-  | Tc_l1 -> "l1"
-  | Tc_llc -> "llc"
-  | Tc_c2c_local -> "c2c_local"
-  | Tc_c2c_remote -> "c2c_remote"
-  | Tc_llc_remote -> "llc_remote"
-  | Tc_mem -> "mem"
+let default_model : model = Models.default
+let model_of_name : string -> model = Models.by_name
+let model_name_of : model -> string = Cohmodel.name
+let model_names () = Models.names
+
+(* ------------------------------------------------------------------ *)
+(* Core state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | P_access of access_kind * int
+  | P_work of int
+  | P_none
+
+type step = Finished | Blocked
+
+type thread = {
+  tid : int;
+  core : int;
+  socket : int;
+  instr_scale : float; (* SMT issue-sharing multiplier for this thread *)
+  mutable clock : int; (* local time, cycles *)
+  mutable pend : pending;
+  mutable act : action; (* scheduler lookahead, cached when the effect
+                           is performed so listing the runnable set
+                           allocates nothing *)
+  mutable cont : (unit, step) Effect.Deep.continuation option;
+  mutable finished : bool;
+  mutable crashed : bool; (* crash-stopped by an injected fault *)
+  mutable stalled_until : int; (* not runnable until this decision count *)
+}
 
 type trace_event =
   | T_op_start of int  (** harness-assigned operation code *)
@@ -216,11 +182,9 @@ type t = {
   jitter : int;
   rng : Ascy_util.Xorshift.t;
   threads : thread array;
-  lines : line_state Ascy_util.Vec.t;
-  priv : int array array; (* per-core direct-mapped private-cache tags *)
-  priv_mask : int;
-  llc_tags : int array array; (* per-socket LLC tags *)
-  llc_mask : int;
+  coh_spec : model;
+  coh : Cohmodel.inst; (* all line/tag state lives in here *)
+  mutable nlines : int; (* allocated line ids (dense, from 0) *)
   counters : mem_counters array;
   events : int array array; (* per-thread algorithm events *)
   mutable cur : int; (* currently-executing simulated thread, or -1 *)
@@ -239,17 +203,12 @@ type t = {
   slow_until : int array; (* decision count the slowdown expires at *)
 }
 
-let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
-
-let dummy_line = { owner = -1; sharers = Ascy_util.Bits.create 1 }
-
-let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads () =
+let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ?(model = default_model)
+    ~platform ~nthreads () =
   if nthreads < 1 || nthreads > P.hw_threads platform then
     invalid_arg
       (Printf.sprintf "Sim.create: nthreads %d out of range 1..%d for %s" nthreads
          (P.hw_threads platform) platform.P.name);
-  let priv_slots = pow2_at_least (min platform.P.l1_lines 16384) 64 in
-  let llc_slots = pow2_at_least (min platform.P.llc_lines 524288) 1024 in
   (* Count busy hardware threads per core to scale instruction overhead. *)
   let busy = Array.make platform.P.cores 0 in
   for t = 0 to nthreads - 1 do
@@ -267,6 +226,7 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads 
           instr_scale = scale;
           clock = 0;
           pend = P_none;
+          act = A_start;
           cont = None;
           finished = false;
           crashed = false;
@@ -279,11 +239,9 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads 
     jitter;
     rng = Ascy_util.Xorshift.create seed;
     threads;
-    lines = Ascy_util.Vec.create ~capacity:4096 dummy_line;
-    priv = Array.init platform.P.cores (fun _ -> Array.make priv_slots (-1));
-    priv_mask = priv_slots - 1;
-    llc_tags = Array.init platform.P.sockets (fun _ -> Array.make llc_slots (-1));
-    llc_mask = llc_slots - 1;
+    coh_spec = model;
+    coh = Cohmodel.instantiate model ~platform;
+    nlines = 0;
     counters = Array.init nthreads (fun _ -> fresh_counters ());
     events = Array.init nthreads (fun _ -> Array.make Event.count 0);
     cur = -1;
@@ -310,37 +268,28 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ~platform ~nthreads 
        else [||]);
   }
 
+(** The coherence model [sim] was created with. *)
+let model sim = sim.coh_spec
+
+(** Name of the coherence model [sim] was created with. *)
+let model_name sim = model_name_of sim.coh_spec
+
 (* The simulation the calling (real) thread is currently driving.  The
    simulator is single-OS-threaded, so one slot suffices. *)
 let current : t option ref = ref None
 
 let new_line_id sim =
-  let id = Ascy_util.Vec.length sim.lines in
-  Ascy_util.Vec.push sim.lines { owner = -1; sharers = Ascy_util.Bits.create sim.plat.P.cores };
+  let id = sim.nlines in
+  sim.nlines <- id + 1;
+  let (Cohmodel.Inst ((module C), cm)) = sim.coh in
+  C.on_new_line cm id;
   id
 
 (* ------------------------------------------------------------------ *)
-(* Coherence model                                                     *)
+(* Access accounting                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let em = P.energy_model
-
-(* Install [line] in [core]'s private cache, evicting (and de-registering)
-   whatever direct-mapped slot it lands on. *)
-let install_priv sim core line =
-  let slot = line land sim.priv_mask in
-  let old = sim.priv.(core).(slot) in
-  if old >= 0 && old <> line then begin
-    let ols = Ascy_util.Vec.get sim.lines old in
-    Ascy_util.Bits.remove ols.sharers core;
-    if ols.owner = core then ols.owner <- -1 (* silent writeback *)
-  end;
-  sim.priv.(core).(slot) <- line
-
-let in_priv sim core line = sim.priv.(core).(line land sim.priv_mask) = line
-
-let install_llc sim socket line = sim.llc_tags.(socket).(line land sim.llc_mask) <- line
-let in_llc sim socket line = sim.llc_tags.(socket).(line land sim.llc_mask) = line
 
 (* Append one event to [tid]'s trace ring (caller checks [sim.tracing]). *)
 let trace_push sim tid cycle ev =
@@ -351,135 +300,20 @@ let trace_push sim tid cycle ev =
   b.tr_total <- b.tr_total + 1
 
 (* Charge and account one memory access; returns its latency in cycles.
-   [tcls] is threaded out so the tracer can record which coherence path
-   served the access. *)
+   The core charges the model-independent parts (access/store counts,
+   observer notification, instruction overhead and its energy, NUMA
+   fault scaling, trace, jitter); the installed coherence model charges
+   the service class, its energy, any atomic surcharge, and mutates its
+   own line state. *)
 let access_cost sim th kind line =
   let p = sim.plat in
-  let ls = Ascy_util.Vec.get sim.lines line in
-  let c = th.core and s = th.socket in
+  let s = th.socket in
   let cnt = sim.counters.(th.tid) in
   cnt.accesses <- cnt.accesses + 1;
   (match kind with Write -> cnt.writes <- cnt.writes + 1 | Read | Rmw -> ());
   (match sim.observer with Some o -> o.obs_access th.tid kind line | None -> ());
-  let tcls = ref Tc_l1 in
-  let have_copy = in_priv sim c line && (ls.owner = c || Ascy_util.Bits.mem ls.sharers c) in
-  let lat =
-    match kind with
-    | Read ->
-        if have_copy then begin
-          cnt.l1 <- cnt.l1 + 1;
-          cnt.energy_nj <- cnt.energy_nj +. em.P.nj_l1;
-          p.P.c_l1
-        end
-        else begin
-          let lat =
-            if ls.owner >= 0 then begin
-              (* dirty elsewhere: cache-to-cache transfer, owner demotes *)
-              let osock = ls.owner / P.cores_per_socket p in
-              Ascy_util.Bits.add ls.sharers ls.owner;
-              ls.owner <- -1;
-              cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
-              if osock = s then begin
-                cnt.c2c_local <- cnt.c2c_local + 1;
-                tcls := Tc_c2c_local;
-                p.P.c_c2c_local
-              end
-              else begin
-                cnt.c2c_remote <- cnt.c2c_remote + 1;
-                tcls := Tc_c2c_remote;
-                p.P.c_c2c_remote
-              end
-            end
-            else if in_llc sim s line then begin
-              cnt.llc <- cnt.llc + 1;
-              cnt.energy_nj <- cnt.energy_nj +. em.P.nj_llc;
-              tcls := Tc_llc;
-              p.P.c_llc
-            end
-            else begin
-              (* clean copy on a remote socket? *)
-              let remote = ref false in
-              for os = 0 to p.P.sockets - 1 do
-                if os <> s && in_llc sim os line then remote := true
-              done;
-              if !remote then begin
-                cnt.llc_remote <- cnt.llc_remote + 1;
-                cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
-                tcls := Tc_llc_remote;
-                p.P.c_llc_remote
-              end
-              else begin
-                cnt.mem <- cnt.mem + 1;
-                cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
-                tcls := Tc_mem;
-                p.P.c_mem
-              end
-            end
-          in
-          Ascy_util.Bits.add ls.sharers c;
-          install_priv sim c line;
-          install_llc sim s line;
-          lat
-        end
-    | Write | Rmw ->
-        let base =
-          if ls.owner = c && in_priv sim c line then begin
-            cnt.l1 <- cnt.l1 + 1;
-            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_l1;
-            p.P.c_l1
-          end
-          else if ls.owner >= 0 then begin
-            let osock = ls.owner / P.cores_per_socket p in
-            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
-            if osock = s then begin
-              cnt.c2c_local <- cnt.c2c_local + 1;
-              tcls := Tc_c2c_local;
-              p.P.c_c2c_local
-            end
-            else begin
-              cnt.c2c_remote <- cnt.c2c_remote + 1;
-              tcls := Tc_c2c_remote;
-              p.P.c_c2c_remote
-            end
-          end
-          else if not (Ascy_util.Bits.is_empty ls.sharers) || in_llc sim s line then begin
-            (* upgrade: invalidate sharers; pay more if any are remote *)
-            let remote_sharer =
-              Ascy_util.Bits.exists (fun core -> core / P.cores_per_socket p <> s) ls.sharers
-            in
-            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
-            if remote_sharer then begin
-              cnt.llc_remote <- cnt.llc_remote + 1;
-              tcls := Tc_llc_remote;
-              p.P.c_llc_remote
-            end
-            else begin
-              cnt.llc <- cnt.llc + 1;
-              tcls := Tc_llc;
-              p.P.c_llc
-            end
-          end
-          else begin
-            cnt.mem <- cnt.mem + 1;
-            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
-            tcls := Tc_mem;
-            p.P.c_mem
-          end
-        in
-        (* Invalidate every other copy; this write owns the line. *)
-        Ascy_util.Bits.clear ls.sharers;
-        ls.owner <- c;
-        install_priv sim c line;
-        install_llc sim s line;
-        let extra =
-          match kind with
-          | Rmw ->
-              cnt.rmw <- cnt.rmw + 1;
-              p.P.c_atomic
-          | Read | Write -> 0
-        in
-        base + extra
-  in
+  let (Cohmodel.Inst ((module C), cm)) = sim.coh in
+  let lat, tcls = C.access cm cnt ~core:th.core ~socket:s kind line in
   (* transient NUMA degradation: scale the memory latency (not the
      instruction overhead) while the thread's socket is slowed *)
   let lat =
@@ -489,7 +323,7 @@ let access_cost sim th kind line =
   in
   let instr = int_of_float (float_of_int p.P.c_instr *. th.instr_scale) in
   cnt.energy_nj <- cnt.energy_nj +. em.P.nj_instr;
-  if sim.tracing then trace_push sim th.tid th.clock (T_access (kind, line, !tcls));
+  if sim.tracing then trace_push sim th.tid th.clock (T_access (kind, line, tcls));
   let j = if sim.jitter > 0 then Ascy_util.Xorshift.below sim.rng (sim.jitter + 1) else 0 in
   lat + instr + j
 
@@ -510,8 +344,8 @@ let txn_capacity = 64
    commit. *)
 let txn_access sim (tx : txn_state) kind line =
   let th = sim.threads.(sim.cur) in
-  let ls = Ascy_util.Vec.get sim.lines line in
-  if ls.owner >= 0 && ls.owner <> th.core then raise Txn_abort;
+  let (Cohmodel.Inst ((module C), cm)) = sim.coh in
+  if C.txn_conflict cm ~core:th.core line then raise Txn_abort;
   if not (List.mem line tx.t_lines) then begin
     tx.t_nlines <- tx.t_nlines + 1;
     if tx.t_nlines > txn_capacity then raise Txn_abort;
@@ -520,7 +354,7 @@ let txn_access sim (tx : txn_state) kind line =
   (match kind with
   | Write | Rmw -> if not (List.mem line tx.t_written) then tx.t_written <- line :: tx.t_written
   | Read -> ());
-  let base = if in_priv sim th.core line then sim.plat.P.c_l1 else sim.plat.P.c_llc in
+  let base = C.txn_line_cost cm ~core:th.core line in
   tx.t_cost <- tx.t_cost + base + sim.plat.P.c_instr
 
 let running () = match !current with Some sim -> sim.cur >= 0 | None -> false
@@ -636,20 +470,18 @@ module Mem : Memory.S with type line = int = struct
   let txn f =
     match !current with
     | Some sim when sim.cur >= 0 && sim.txn = None ->
-        let tx = { t_cost = sim.plat.P.c_atomic; t_undo = []; t_lines = []; t_written = []; t_nlines = 0 } in
+        let tx =
+          { t_cost = sim.plat.P.c_atomic; t_undo = []; t_lines = []; t_written = []; t_nlines = 0 }
+        in
         sim.txn <- Some tx;
         (match f () with
         | v ->
             sim.txn <- None;
             (* commit: written lines become exclusively ours *)
             let th = sim.threads.(sim.cur) in
+            let (Cohmodel.Inst ((module C), cm)) = sim.coh in
             List.iter
-              (fun line ->
-                let ls = Ascy_util.Vec.get sim.lines line in
-                Ascy_util.Bits.clear ls.sharers;
-                ls.owner <- th.core;
-                install_priv sim th.core line;
-                install_llc sim th.socket line)
+              (fun line -> C.txn_commit cm ~core:th.core ~socket:th.socket line)
               tx.t_written;
             Effect.perform (Work_eff (tx.t_cost + sim.plat.P.c_atomic));
             Some v
@@ -718,6 +550,9 @@ module Heap = struct
   let is_empty h = h.n = 0
 end
 
+(** Wraps any exception escaping a simulated thread body: carries the
+    tid, the original exception and its backtrace, so harness oracles
+    can attribute the failure. *)
 exception Thread_failure of int * exn * string
 
 (** [run ?scheduler sim bodies] runs one simulated thread per element of
@@ -728,9 +563,12 @@ exception Thread_failure of int * exn * string
     Without [scheduler], threads are resumed smallest-clock-first (plus
     optional jitter folded into access costs) — the free-running hardware
     model.  With [scheduler], every resume decision is delegated to it:
-    the callback sees each runnable thread's next {!action} and picks the
-    thread to resume, which makes the simulator a controlled concurrency
-    tester (see [Ascy_sct]).
+    the callback sees the {!runnable} set with each thread's next
+    {!action} and picks the thread to resume, which makes the simulator
+    a controlled concurrency tester (see [Ascy_sct]).  The [runnable]
+    record passed to the callback is {e reused} across decisions — the
+    per-decision hot path allocates nothing — so schedulers must copy
+    ({!runnable_copy}) anything they retain past the callback.
 
     [faults] injects {!fault_event}s keyed by decision index (see
     {!decisions}); with an empty plan both scheduling modes behave
@@ -744,6 +582,7 @@ let run ?scheduler ?(faults = []) sim bodies =
     (fun th ->
       th.clock <- 0;
       th.pend <- P_none;
+      th.act <- A_start;
       th.cont <- None;
       th.finished <- false;
       th.crashed <- false;
@@ -777,6 +616,7 @@ let run ?scheduler ?(faults = []) sim bodies =
                 (fun (k : (a, step) Effect.Deep.continuation) ->
                   let th = sim.threads.(sim.cur) in
                   th.pend <- P_access (kind, line);
+                  th.act <- A_access (kind, line);
                   th.cont <- Some k;
                   Blocked)
           | Work_eff n ->
@@ -784,6 +624,7 @@ let run ?scheduler ?(faults = []) sim bodies =
                 (fun (k : (a, step) Effect.Deep.continuation) ->
                   let th = sim.threads.(sim.cur) in
                   th.pend <- P_work n;
+                  th.act <- A_work n;
                   th.cont <- Some k;
                   Blocked)
           | _ -> None);
@@ -808,8 +649,7 @@ let run ?scheduler ?(faults = []) sim bodies =
           (* commit the pending access, charge its latency, resume *)
           (match th.pend with
           | P_access (kind, line) -> th.clock <- th.clock + access_cost sim th kind line
-          | P_work n ->
-              th.clock <- th.clock + int_of_float (float_of_int n *. th.instr_scale)
+          | P_work n -> th.clock <- th.clock + int_of_float (float_of_int n *. th.instr_scale)
           | P_none -> ());
           th.pend <- P_none;
           match th.cont with
@@ -848,8 +688,7 @@ let run ?scheduler ?(faults = []) sim bodies =
           th.cont <- None;
           sim.cur <- tid;
           (try
-             match Effect.Deep.discontinue k Thread_killed with
-             | Finished | Blocked -> ()
+             match Effect.Deep.discontinue k Thread_killed with Finished | Blocked -> ()
            with
           | Thread_killed -> ()
           | e ->
@@ -931,15 +770,18 @@ let run ?scheduler ?(faults = []) sim bodies =
         end
       done
   | Some choose ->
-      let next_action tid =
-        if fresh.(tid) <> None then A_start
-        else
-          match sim.threads.(tid).pend with
-          | P_access (kind, line) -> A_access (kind, line)
-          | P_work n -> A_work n
-          | P_none -> A_start
+      (* Controlled loop.  One runnable record is reused for every
+         decision: refilling it is plain stores into preallocated
+         arrays, and each thread's lookahead action was cached on the
+         thread when its effect was performed, so the decision hot path
+         allocates nothing. *)
+      let runnable =
+        {
+          Simtypes.rn = 0;
+          r_tids = Array.make sim.nthreads 0;
+          r_acts = Array.make sim.nthreads A_start;
+        }
       in
-      let scratch = Array.make sim.nthreads (0, A_start) in
       while sim.live > 0 do
         if sim.any_fault then apply_due_faults ();
         if sim.live > 0 then begin
@@ -948,10 +790,12 @@ let run ?scheduler ?(faults = []) sim bodies =
             let th = sim.threads.(tid) in
             if (not th.finished) && (not th.crashed) && th.stalled_until <= sim.decisions
             then begin
-              scratch.(!n) <- (tid, next_action tid);
+              runnable.r_tids.(!n) <- tid;
+              runnable.r_acts.(!n) <- (if fresh.(tid) <> None then A_start else th.act);
               incr n
             end
           done;
+          runnable.rn <- !n;
           if !n = 0 then begin
             (* every live thread is stalled: jump to the earliest expiry *)
             let wake = ref max_int in
@@ -963,7 +807,6 @@ let run ?scheduler ?(faults = []) sim bodies =
             sim.decisions <- max sim.decisions !wake
           end
           else begin
-            let runnable = Array.sub scratch 0 !n in
             let tid = choose runnable in
             if
               tid < 0 || tid >= sim.nthreads || sim.threads.(tid).finished
@@ -988,22 +831,19 @@ let is_crashed sim tid = sim.threads.(tid).crashed
 (** Tids crash-stopped by injected faults, in injection order. *)
 let crashed_tids sim = List.rev sim.crashed_tids
 
-(** Install every allocated line into every socket's LLC, emulating the
-    steady state a long-running benchmark reaches (the paper measures
-    5-second runs): first accesses pay LLC latency, not DRAM, and private
-    caches still start cold. *)
+(** Install the coherence model's steady state for every allocated line,
+    emulating what a long-running benchmark reaches (the paper measures
+    5-second runs).  For the directory models: every line backed by
+    every socket's LLC, private caches still cold. *)
 let warm sim =
-  for line = 0 to Ascy_util.Vec.length sim.lines - 1 do
-    for s = 0 to sim.plat.P.sockets - 1 do
-      install_llc sim s line
-    done
-  done
+  let (Cohmodel.Inst ((module C), cm)) = sim.coh in
+  C.warm cm ~nlines:sim.nlines
 
-(** [with_sim ?seed ?jitter ~platform ~nthreads f] installs a fresh
-    simulation, runs [f sim] (which typically builds a structure through
-    {!Mem} and then calls {!run}), and uninstalls it. *)
-let with_sim ?seed ?jitter ?trace_capacity ~platform ~nthreads f =
-  let sim = create ?seed ?jitter ?trace_capacity ~platform ~nthreads () in
+(** [with_sim ?seed ?jitter ?model ~platform ~nthreads f] installs a
+    fresh simulation, runs [f sim] (which typically builds a structure
+    through {!Mem} and then calls {!run}), and uninstalls it. *)
+let with_sim ?seed ?jitter ?trace_capacity ?model ~platform ~nthreads f =
+  let sim = create ?seed ?jitter ?trace_capacity ?model ~platform ~nthreads () in
   let saved = !current in
   current := Some sim;
   Fun.protect ~finally:(fun () -> current := saved) (fun () -> f sim)
@@ -1031,7 +871,7 @@ module Trace = struct
 
   type entry = trace_entry = { tr_cycle : int; tr_ev : trace_event }
 
-  let class_name = trace_class_name
+  let class_name = Simtypes.trace_class_name
 
   let enabled sim = sim.tracing
 
@@ -1222,4 +1062,5 @@ let stats sim ~makespan =
   }
 
 (** All accesses that were not private-cache hits. *)
-let misses st = st.hits_llc + st.transfers_local + st.transfers_remote + st.fetch_remote + st.misses_mem
+let misses st =
+  st.hits_llc + st.transfers_local + st.transfers_remote + st.fetch_remote + st.misses_mem

@@ -1,0 +1,189 @@
+(** Types shared between the simulator core ({!Sim}), the pluggable
+    coherence models ({!Cohmodel} and its implementations) and the
+    counters/trace/observer layer.
+
+    This module is the bottom of the layered runtime: it contains no
+    behavior beyond trivial constructors and predicates, so every layer
+    — core, model, observers — can depend on it without cycles.  {!Sim}
+    re-exports everything here under its own name, so external code
+    keeps using [Ascy_mem.Sim.Read], [Ascy_mem.Sim.action], ... *)
+
+type access_kind = Read | Write | Rmw
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-visible actions                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** What a runnable thread will do when next resumed (one-step
+    lookahead).  [A_start] means the thread's body has not run yet, so
+    its first action is unknown; starting a thread performs no shared
+    access and is independent of everything. *)
+type action = A_start | A_access of access_kind * int | A_work of int
+
+(** [dependent a b] — can the order of [a] and [b] (by different
+    threads) affect the memory state or either thread's results?  Two
+    accesses conflict iff they touch the same line and at least one
+    writes; local work and thread starts never conflict.  This is the
+    per-line read/write dependency relation systematic concurrency
+    testing (DPOR) prunes with. *)
+let dependent a b =
+  match (a, b) with
+  | A_access (k1, l1), A_access (k2, l2) -> l1 = l2 && not (k1 = Read && k2 = Read)
+  | _ -> false
+
+(** The runnable-thread set presented to a controlled scheduler at one
+    decision point: the first [rn] slots of [r_tids]/[r_acts] hold the
+    runnable thread ids (ascending) and their next actions.  The
+    simulator reuses one [runnable] record across every decision of a
+    run — the per-decision hot path allocates nothing — so schedulers
+    must not retain it; callers that need a snapshot (the SCT explorer
+    keeps one per DFS node) use {!runnable_copy}. *)
+type runnable = {
+  mutable rn : int;  (** live slots; only indices [0..rn-1] are valid *)
+  r_tids : int array;
+  r_acts : action array;
+}
+
+let runnable_count r = r.rn
+
+let runnable_tid r i =
+  if i < 0 || i >= r.rn then invalid_arg "runnable_tid: index out of range";
+  r.r_tids.(i)
+
+let runnable_action r i =
+  if i < 0 || i >= r.rn then invalid_arg "runnable_action: index out of range";
+  r.r_acts.(i)
+
+(** Index of [tid] among the runnable threads, or [-1]. *)
+let runnable_find r tid =
+  let rec go i = if i >= r.rn then -1 else if r.r_tids.(i) = tid then i else go (i + 1) in
+  go 0
+
+(** A detached snapshot (arrays sized exactly [rn]), safe to retain
+    after the decision returns. *)
+let runnable_copy r =
+  { rn = r.rn; r_tids = Array.sub r.r_tids 0 r.rn; r_acts = Array.sub r.r_acts 0 r.rn }
+
+(** A controlled scheduler: given the runnable threads, return the tid
+    to resume.  Called at every resume-decision point of [Sim.run];
+    choosing a tid not in the set is an error.  The default (no
+    scheduler) policy resumes the thread with the smallest local clock,
+    which models free-running hardware; a controlled scheduler instead
+    explores or replays a specific interleaving. *)
+type scheduler = runnable -> int
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Injectable faults.  Faults are placed at {e decision points} — the
+    same coordinate system controlled schedules use (one decision per
+    executed simulator step), so a fault plan composes with a schedule
+    prefix into a single replayable artifact and the SCT explorer can
+    place faults as systematically as it places context switches.
+
+    - {!F_crash}: crash-stop.  The thread dies at the decision point and
+      never runs again: whatever it held (locks, claimed slots, frozen
+      SSMEM epochs) stays held forever.
+    - {!F_stall n}: the thread is descheduled for the next [n] decisions,
+      then resumes — a transparent delay (preemption by the OS, a page
+      fault, an SMI).
+    - {!F_numa_slow}: a socket's memory-access latencies are multiplied
+      by [factor] for the next [window] decisions — a transient NUMA/
+      interconnect degradation.  Only observable under the default
+      (free-running) policy, where latency decides the schedule. *)
+type fault =
+  | F_crash
+  | F_stall of int
+  | F_numa_slow of { factor : float; window : int }
+
+(** One fault of a plan: [fe_fault] applies once [fe_at] decisions have
+    executed (before the [fe_at]-th next decision is taken).  [fe_tid]
+    is a thread id for [F_crash]/[F_stall] and a socket id for
+    [F_numa_slow]. *)
+type fault_event = { fe_at : int; fe_tid : int; fe_fault : fault }
+
+(** Delivered into a thread being crash-stopped, so test-level
+    [Fun.protect] cleanup can run deterministically.  CSDS code installs
+    no such handlers, which is the point: the corpse's locks stay
+    locked.  Harness oracles must treat this exception as an injected
+    fault, never as an algorithm bug. *)
+exception Thread_killed
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-thread memory-event counters.  The coherence model charges the
+   service-class slots (l1/llc/c2c_*/llc_remote/mem), rmw and the
+   class-dependent energy; the simulator core charges accesses, writes
+   and the per-instruction energy. *)
+type mem_counters = {
+  mutable accesses : int;
+  mutable l1 : int;
+  mutable llc : int;
+  mutable c2c_local : int;
+  mutable c2c_remote : int;
+  mutable llc_remote : int;
+  mutable mem : int;
+  mutable rmw : int;
+  mutable writes : int; (* plain (non-RMW) stores *)
+  mutable energy_nj : float;
+}
+
+let fresh_counters () =
+  { accesses = 0; l1 = 0; llc = 0; c2c_local = 0; c2c_remote = 0; llc_remote = 0; mem = 0; rmw = 0; writes = 0; energy_nj = 0.0 }
+
+(* Where an access was served from (which coherence path it took). *)
+type trace_class = Tc_l1 | Tc_llc | Tc_c2c_local | Tc_c2c_remote | Tc_llc_remote | Tc_mem
+
+let trace_class_name = function
+  | Tc_l1 -> "l1"
+  | Tc_llc -> "llc"
+  | Tc_c2c_local -> "c2c_local"
+  | Tc_c2c_remote -> "c2c_remote"
+  | Tc_llc_remote -> "llc_remote"
+  | Tc_mem -> "mem"
+
+(* ------------------------------------------------------------------ *)
+(* Observers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** An observer over the committed access/event stream of a run, for
+    analysis passes (per-operation profiling, happens-before race
+    detection) that need every access but must not depend on the
+    off-by-default trace rings.  All callbacks fire only for simulated
+    threads (never during setup/prefill, where accesses are free) and in
+    commit order — [obs_access] at the moment the scheduler charges the
+    access, which is when its memory effect takes place.
+
+    - [obs_access tid kind line]: one committed access;
+    - [obs_rmw tid success]: outcome of the RMW ([cas] success or
+      [fetch_and_add], which always succeeds) whose [Rmw] access was just
+      reported for [tid];
+    - [obs_event tid code]: an {!Event} emission;
+    - [obs_op_start tid code] / [obs_op_end tid code]: the harness
+      operation brackets ([Trace.op_start] / [Trace.op_end]), delivered
+      even when tracing is off.
+
+    Transactional ([txn]) accesses are buffered, not committed
+    individually, and are not reported. *)
+type observer = {
+  obs_access : int -> access_kind -> int -> unit;
+  obs_rmw : int -> bool -> unit;
+  obs_event : int -> int -> unit;
+  obs_op_start : int -> int -> unit;
+  obs_op_end : int -> int -> unit;
+}
+
+(** Fan one access stream out to two observers, [a] first.  Lets the
+    harness attach a race detector and a profiler (or any other pair)
+    to the same run without the simulator knowing about either. *)
+let compose_observers a b =
+  {
+    obs_access = (fun tid kind line -> a.obs_access tid kind line; b.obs_access tid kind line);
+    obs_rmw = (fun tid ok -> a.obs_rmw tid ok; b.obs_rmw tid ok);
+    obs_event = (fun tid code -> a.obs_event tid code; b.obs_event tid code);
+    obs_op_start = (fun tid code -> a.obs_op_start tid code; b.obs_op_start tid code);
+    obs_op_end = (fun tid code -> a.obs_op_end tid code; b.obs_op_end tid code);
+  }

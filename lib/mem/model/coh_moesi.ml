@@ -1,0 +1,242 @@
+(** An Opteron-style MOESI model with a non-inclusive (victim) LLC
+    ({!Cohmodel.S}), for reproducing the paper's cross-platform {e shape}
+    differences.
+
+    Two mechanisms distinguish the Opteron from the inclusive-LLC Xeons
+    in the paper's measurements, and both are modeled here:
+
+    - {b Owned state}: a read of a line that is dirty in another core's
+      cache is served cache-to-cache, but the owner {e keeps} the line
+      (state O) instead of demoting to shared-clean.  The next write by
+      the owner is a private hit again — but every other core's read
+      keeps paying the transfer, so reader/writer sharing stays
+      expensive for the readers (the paper's "loads of an Owned line
+      are serviced from the remote cache").
+    - {b Non-inclusive victim LLC}: the LLC is filled by private-cache
+      {e evictions}, not by fetches.  A clean line read from DRAM or a
+      remote socket does not get a local LLC backing copy, so re-fetches
+      after private eviction keep paying the long path — the
+      directory-less HT broadcast behavior that makes the Opteron's
+      uncontended latencies worse and its cross-socket sharing costs
+      flatter than the Xeons'.
+
+    Writes invalidate every LLC copy (the only valid copy is the
+    writer's private one), so a subsequent remote read is a c2c
+    transfer, never a stale LLC hit.  Latency constants still come from
+    the platform record; this model changes {e which} class an access
+    falls in, which is what shapes the curves. *)
+
+module P = Ascy_platform.Platform
+open Simtypes
+
+let name = "moesi"
+
+type line_state = { mutable owner : int; sharers : Ascy_util.Bits.t }
+
+type t = {
+  plat : P.t;
+  lines : line_state Ascy_util.Vec.t;
+  priv : int array array;
+  priv_mask : int;
+  llc_tags : int array array; (* per-socket victim LLC *)
+  llc_mask : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let dummy_line = { owner = -1; sharers = Ascy_util.Bits.create 1 }
+
+let create ~platform =
+  let priv_slots = pow2_at_least (min platform.P.l1_lines 16384) 64 in
+  let llc_slots = pow2_at_least (min platform.P.llc_lines 524288) 1024 in
+  {
+    plat = platform;
+    lines = Ascy_util.Vec.create ~capacity:4096 dummy_line;
+    priv = Array.init platform.P.cores (fun _ -> Array.make priv_slots (-1));
+    priv_mask = priv_slots - 1;
+    llc_tags = Array.init platform.P.sockets (fun _ -> Array.make llc_slots (-1));
+    llc_mask = llc_slots - 1;
+  }
+
+let on_new_line t _id =
+  Ascy_util.Vec.push t.lines { owner = -1; sharers = Ascy_util.Bits.create t.plat.P.cores }
+
+let em = P.energy_model
+
+let install_llc t socket line = t.llc_tags.(socket).(line land t.llc_mask) <- line
+let in_llc t socket line = t.llc_tags.(socket).(line land t.llc_mask) = line
+
+let evict_llc t socket line =
+  let slot = line land t.llc_mask in
+  if t.llc_tags.(socket).(slot) = line then t.llc_tags.(socket).(slot) <- -1
+
+(* Victim-cache fill: a line evicted from a private cache lands in its
+   socket's LLC — the only way the LLC is filled outside [warm]. *)
+let install_priv t core socket line =
+  let slot = line land t.priv_mask in
+  let old = t.priv.(core).(slot) in
+  if old >= 0 && old <> line then begin
+    let ols = Ascy_util.Vec.get t.lines old in
+    Ascy_util.Bits.remove ols.sharers core;
+    if ols.owner = core then ols.owner <- -1 (* writeback into the victim LLC *)
+  end;
+  if old >= 0 && old <> line then install_llc t socket old;
+  t.priv.(core).(slot) <- line
+
+let in_priv t core line = t.priv.(core).(line land t.priv_mask) = line
+
+let access t cnt ~core:c ~socket:s kind line =
+  let p = t.plat in
+  let ls = Ascy_util.Vec.get t.lines line in
+  let tcls = ref Tc_l1 in
+  let have_copy = in_priv t c line && (ls.owner = c || Ascy_util.Bits.mem ls.sharers c) in
+  let lat =
+    match kind with
+    | Read ->
+        if have_copy then begin
+          cnt.l1 <- cnt.l1 + 1;
+          cnt.energy_nj <- cnt.energy_nj +. em.P.nj_l1;
+          p.P.c_l1
+        end
+        else begin
+          let lat =
+            if ls.owner >= 0 then begin
+              (* dirty elsewhere: served cache-to-cache; the owner keeps
+                 the line in Owned state (no demotion — the MOESI
+                 difference) *)
+              let osock = ls.owner / P.cores_per_socket p in
+              cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+              if osock = s then begin
+                cnt.c2c_local <- cnt.c2c_local + 1;
+                tcls := Tc_c2c_local;
+                p.P.c_c2c_local
+              end
+              else begin
+                cnt.c2c_remote <- cnt.c2c_remote + 1;
+                tcls := Tc_c2c_remote;
+                p.P.c_c2c_remote
+              end
+            end
+            else if in_llc t s line then begin
+              cnt.llc <- cnt.llc + 1;
+              cnt.energy_nj <- cnt.energy_nj +. em.P.nj_llc;
+              tcls := Tc_llc;
+              p.P.c_llc
+            end
+            else begin
+              let remote = ref false in
+              for os = 0 to p.P.sockets - 1 do
+                if os <> s && in_llc t os line then remote := true
+              done;
+              if !remote then begin
+                cnt.llc_remote <- cnt.llc_remote + 1;
+                cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+                tcls := Tc_llc_remote;
+                p.P.c_llc_remote
+              end
+              else begin
+                cnt.mem <- cnt.mem + 1;
+                cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
+                tcls := Tc_mem;
+                p.P.c_mem
+              end
+            end
+          in
+          Ascy_util.Bits.add ls.sharers c;
+          (* non-inclusive: the fetched copy goes to the private cache
+             only; no LLC fill on a fetch *)
+          install_priv t c s line;
+          lat
+        end
+    | Write | Rmw ->
+        let base =
+          if ls.owner = c && in_priv t c line then begin
+            cnt.l1 <- cnt.l1 + 1;
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_l1;
+            p.P.c_l1
+          end
+          else if ls.owner >= 0 then begin
+            let osock = ls.owner / P.cores_per_socket p in
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+            if osock = s then begin
+              cnt.c2c_local <- cnt.c2c_local + 1;
+              tcls := Tc_c2c_local;
+              p.P.c_c2c_local
+            end
+            else begin
+              cnt.c2c_remote <- cnt.c2c_remote + 1;
+              tcls := Tc_c2c_remote;
+              p.P.c_c2c_remote
+            end
+          end
+          else if not (Ascy_util.Bits.is_empty ls.sharers) || in_llc t s line then begin
+            (* upgrade: without an inclusive directory the invalidation
+               is an HT broadcast probe — remote-priced whenever any
+               remote cache could hold a copy *)
+            let remote_copy =
+              Ascy_util.Bits.exists (fun core -> core / P.cores_per_socket p <> s) ls.sharers
+              ||
+              let r = ref false in
+              for os = 0 to p.P.sockets - 1 do
+                if os <> s && in_llc t os line then r := true
+              done;
+              !r
+            in
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_transfer;
+            if remote_copy then begin
+              cnt.llc_remote <- cnt.llc_remote + 1;
+              tcls := Tc_llc_remote;
+              p.P.c_llc_remote
+            end
+            else begin
+              cnt.llc <- cnt.llc + 1;
+              tcls := Tc_llc;
+              p.P.c_llc
+            end
+          end
+          else begin
+            cnt.mem <- cnt.mem + 1;
+            cnt.energy_nj <- cnt.energy_nj +. em.P.nj_mem;
+            tcls := Tc_mem;
+            p.P.c_mem
+          end
+        in
+        Ascy_util.Bits.clear ls.sharers;
+        ls.owner <- c;
+        install_priv t c s line;
+        (* every LLC copy is now stale: the only valid copy is the
+           writer's private (M-state) one *)
+        for os = 0 to p.P.sockets - 1 do
+          evict_llc t os line
+        done;
+        let extra =
+          match kind with
+          | Rmw ->
+              cnt.rmw <- cnt.rmw + 1;
+              p.P.c_atomic
+          | Read | Write -> 0
+        in
+        base + extra
+  in
+  (lat, !tcls)
+
+let txn_conflict t ~core line =
+  let ls = Ascy_util.Vec.get t.lines line in
+  ls.owner >= 0 && ls.owner <> core
+
+let txn_line_cost t ~core line = if in_priv t core line then t.plat.P.c_l1 else t.plat.P.c_llc
+
+let txn_commit t ~core ~socket line =
+  let ls = Ascy_util.Vec.get t.lines line in
+  Ascy_util.Bits.clear ls.sharers;
+  ls.owner <- core;
+  install_priv t core socket line
+
+(* Steady state: the victim LLCs have absorbed a long run's evictions,
+   so every line has a backing copy on every socket. *)
+let warm t ~nlines =
+  for line = 0 to nlines - 1 do
+    for s = 0 to t.plat.P.sockets - 1 do
+      install_llc t s line
+    done
+  done

@@ -1,0 +1,23 @@
+(** The coherence-model registry: every {!Cohmodel.S} implementation,
+    addressable by the stable name CLIs use and replay files record. *)
+
+let mesi : Cohmodel.spec = (module Coh_mesi)
+let flat : Cohmodel.spec = (module Coh_flat)
+let moesi : Cohmodel.spec = (module Coh_moesi)
+
+(** The default everywhere a model is not explicitly selected.  The
+    entire pre-refactor behavior — golden results, schedule counts,
+    replay files — is the behavior of this model. *)
+let default = mesi
+
+let all = [ mesi; flat; moesi ]
+
+let names = List.map Cohmodel.name all
+
+let by_name name =
+  match List.find_opt (fun m -> Cohmodel.name m = String.lowercase_ascii name) all with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown coherence model: %s (expected one of: %s)" name
+           (String.concat ", " names))

@@ -184,6 +184,14 @@ let by_name name =
   | Some p -> p
   | None -> invalid_arg ("unknown platform: " ^ name)
 
+(** Name of the coherence-model variant that best matches [p]'s real
+    cache hierarchy ("moesi" for the Opteron's non-inclusive HT-probed
+    LLC, "mesi" for everything else).  A {e hint} for cross-platform
+    shape experiments — resolvable via [Ascy_mem.Sim.model_of_name];
+    plain string so this bottom-layer module does not depend on the
+    memory layer.  Every default stays "mesi" regardless. *)
+let preferred_model p = if p.name = opteron.name then "moesi" else "mesi"
+
 (** Energy model parameters (nanojoules per event; watts static per active
     core).  Used to reproduce the paper's relative-power plots: power grows
     with cache-line transfers, so algorithms with more coherence traffic

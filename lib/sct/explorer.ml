@@ -70,7 +70,7 @@ exception Step_limit of int
    [delays] snapshot the scheduling state *before* the decision, so
    candidate costs can be recomputed when alternatives are expanded. *)
 type node = {
-  runnable : (int * Sim.action) array;
+  runnable : Sim.runnable;  (* detached snapshot (the simulator reuses its record) *)
   prev : int;
   run_len : int;
   preempts : int;
@@ -96,7 +96,7 @@ type report = {
 
 let dummy_node =
   {
-    runnable = [||];
+    runnable = { Sim.rn = 0; r_tids = [||]; r_acts = [||] };
     prev = -1;
     run_len = 0;
     preempts = 0;
@@ -149,7 +149,7 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
           in
           let node =
             {
-              runnable;
+              runnable = Sim.runnable_copy runnable;
               prev = st.Scheduler.prev;
               run_len = st.Scheduler.run_len;
               preempts =
@@ -169,10 +169,12 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
           in
           (match mode with
           | Naive ->
-              node.todo <-
-                Array.fold_right
-                  (fun (t, _) acc -> if t <> chosen && in_bounds node t then t :: acc else acc)
-                  runnable []
+              let todo = ref [] in
+              for i = Sim.runnable_count runnable - 1 downto 0 do
+                let t = Sim.runnable_tid runnable i in
+                if t <> chosen && in_bounds node t then todo := t :: !todo
+              done;
+              node.todo <- !todo
           | Dpor -> ());
           Vec.push stack node;
           chosen

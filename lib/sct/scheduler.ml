@@ -40,22 +40,19 @@ let note st tid =
     st.run_len <- 1
   end
 
-let index_of tid (runnable : (int * Sim.action) array) =
-  let n = Array.length runnable in
-  let rec go i = if i >= n then -1 else if fst runnable.(i) = tid then i else go (i + 1) in
-  go 0
+let index_of tid (runnable : Sim.runnable) = Sim.runnable_find runnable tid
 
 let action_of tid runnable =
   match index_of tid runnable with
   | -1 -> invalid_arg "Scheduler.action_of: thread not runnable"
-  | i -> snd runnable.(i)
+  | i -> Sim.runnable_action runnable i
 
 (** The candidate order at one decision point, best (default) first:
     the previous thread while its slice lasts, then the other runnable
     threads in cyclic tid order starting after it.  The position of a
     choice in this list is its delay cost. *)
-let candidate_order st (runnable : (int * Sim.action) array) =
-  let n = Array.length runnable in
+let candidate_order st (runnable : Sim.runnable) =
+  let n = Sim.runnable_count runnable in
   if n = 0 then []
   else begin
     let prev_idx = if st.prev >= 0 then index_of st.prev runnable else -1 in
@@ -65,14 +62,16 @@ let candidate_order st (runnable : (int * Sim.action) array) =
       if prev_idx >= 0 then (prev_idx + 1) mod n
       else begin
         (* no live previous thread: start from the first tid above it *)
-        let rec first i = if i >= n then 0 else if fst runnable.(i) > st.prev then i else first (i + 1) in
+        let rec first i =
+          if i >= n then 0 else if Sim.runnable_tid runnable i > st.prev then i else first (i + 1)
+        in
         first 0
       end
     in
     let rest = ref [] in
     for k = n - 1 downto 0 do
       let i = (start + k) mod n in
-      if i <> prev_idx then rest := fst runnable.(i) :: !rest
+      if i <> prev_idx then rest := Sim.runnable_tid runnable i :: !rest
     done;
     if prev_idx < 0 then !rest
     else if continue_first then st.prev :: !rest
@@ -109,15 +108,24 @@ let delay_cost st runnable tid =
 (** [prefix_scheduler ?on_step ~prefix ()] is a {!Ascy_mem.Sim.scheduler}
     that follows [prefix] (an array of tids, one per decision point) and
     then continues with the default policy until the program finishes.
-    [on_step] observes every decision: the step index, the runnable
-    snapshot, and the chosen tid. *)
+    A recorded tid that is no longer runnable — truncating a schedule
+    during minimization can diverge from the run that recorded it, e.g.
+    when the cut makes a thread finish or crash earlier — falls back to
+    the default policy deterministically instead of faulting the
+    simulator; exact replays of complete prefixes never hit this path.
+    [on_step] observes every decision: the step index, the runnable set
+    and the chosen tid.  The runnable record is the simulator's reused
+    one — callbacks that retain it must take a {!Sim.runnable_copy}. *)
 let prefix_scheduler ?on_step ~prefix () : Sim.scheduler =
   let st = fresh_state () in
   let step = ref 0 in
   fun runnable ->
     let k = !step in
     incr step;
-    let tid = if k < Array.length prefix then prefix.(k) else default_choice st runnable in
+    let tid =
+      if k < Array.length prefix && Sim.runnable_find runnable prefix.(k) >= 0 then prefix.(k)
+      else default_choice st runnable
+    in
     (match on_step with Some f -> f ~step:k ~runnable ~chosen:tid | None -> ());
     note st tid;
     tid

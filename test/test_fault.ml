@@ -135,12 +135,11 @@ let lock_holder_crash ?(expect_line = true) ~name ~mk ~acquire ~release () =
         let inner = Scheduler.prefix_scheduler ~prefix:[||] () in
         let sched runnable =
           incr decisions;
-          Array.iter
-            (fun (tid, a) ->
-              match a with
-              | Sim.A_access _ -> last_access.(tid) <- Fault.action_str a
-              | _ -> ())
-            runnable;
+          for i = 0 to Sim.runnable_count runnable - 1 do
+            match Sim.runnable_action runnable i with
+            | Sim.A_access _ as a -> last_access.(Sim.runnable_tid runnable i) <- Fault.action_str a
+            | _ -> ()
+          done;
           (match cand with Some c when !c = 0 && !holding -> c := !decisions | _ -> ());
           if !decisions - !last_progress > watchdog then
             raise
@@ -148,9 +147,12 @@ let lock_holder_crash ?(expect_line = true) ~name ~mk ~acquire ~release () =
                  {
                    at = !decisions;
                    spun =
-                     Array.to_list runnable
-                     |> List.filter_map (fun (tid, _) ->
-                            if tid = victim then None else Some (tid, last_access.(tid)));
+                     (let spun = ref [] in
+                      for i = Sim.runnable_count runnable - 1 downto 0 do
+                        let tid = Sim.runnable_tid runnable i in
+                        if tid <> victim then spun := (tid, last_access.(tid)) :: !spun
+                      done;
+                      !spun);
                  });
           inner runnable
         in

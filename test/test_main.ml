@@ -14,6 +14,7 @@ let () =
         ("sct", Test_sct.suite);
         ("fault", Test_fault.suite);
         ("analysis", Test_analysis.suite);
+        ("models", Test_models.suite);
         ("internals", Test_internals.suite);
       ]
   in
