@@ -1,0 +1,189 @@
+(* Sharded async KV service driver.
+
+   Usage: ascy_serve [-out DIR] [-seed N] [-model NAME] [-scale smoke|full]
+                     [-smoke] [-native] [-lin] [-no-check] [SCENARIO ...]
+
+   Runs the service scenario matrix (lib/service/scenario.ml) on the
+   multicore simulator: client load generators multiplex thousands of
+   sessions over a hash-routed cluster of per-shard sets, each shard
+   fed by a bounded MPSC request queue and drained in batches by a
+   worker thread.  Scenarios cover a zipf hot-key flash crowd,
+   read-mostly vs churn-heavy mixes, deliberate shard skew, and rolling
+   shard restarts that reuse the chaos engine's crash-stop fault plans
+   (standbys take over the shard lease mid-run).
+
+   Per scenario the driver reports per-shard throughput, sojourn and
+   service-time latency percentiles (p50/p99/p999), fail-over counts,
+   and the post-run validation + key-conservation verdict; all records
+   are written through the structured-results sink to
+   DIR/BENCH_service.json.  Every simulated metric derives from the
+   virtual clock, so a given seed reproduces the file bit-for-bit
+   (modulo the sink's generated_at_unix stamp).
+
+   -native additionally runs each (restart-free) scenario on real OCaml 5
+   domains via Mem_native as a smoke check of the same cluster code.
+   -lin records shard 0's applied operations during the flash-crowd
+   scenario and checks the history for linearizability.  Exit 1 on any
+   oracle violation or failed spot-check. *)
+
+module Sim = Ascy_mem.Sim
+module H = Ascy_util.Histogram
+module Report = Ascy_harness.Report
+module Results = Ascy_harness.Results
+module Scenario = Ascy_service.Scenario
+module Service_run = Ascy_service.Service_run
+module Service_native = Ascy_service.Service_native
+module Service_results = Ascy_service.Service_results
+
+let p50_99_999 h =
+  if H.count h = 0 then ("-", "-", "-")
+  else
+    ( Report.f1 (H.percentile h 50.0),
+      Report.f1 (H.percentile h 99.0),
+      Report.f1 (H.percentile h 99.9) )
+
+let () =
+  let seed = ref 1 in
+  let model = ref "mesi" in
+  let scale = ref Scenario.Smoke in
+  let native = ref false in
+  let lin = ref false in
+  let check = ref true in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-out" :: d :: rest ->
+        Unix.putenv "ASCY_BENCH_OUT" d;
+        parse rest
+    | "-seed" :: n :: rest ->
+        seed := int_of_string n;
+        parse rest
+    | "-model" :: m :: rest ->
+        model := m;
+        parse rest
+    | "-scale" :: s :: rest ->
+        (scale :=
+           match s with
+           | "smoke" -> Scenario.Smoke
+           | "full" -> Scenario.Full
+           | s -> invalid_arg (Printf.sprintf "unknown scale %S (smoke|full)" s));
+        parse rest
+    | "-smoke" :: rest ->
+        scale := Scenario.Smoke;
+        parse rest
+    | "-native" :: rest ->
+        native := true;
+        parse rest
+    | "-lin" :: rest ->
+        lin := true;
+        parse rest
+    | "-no-check" :: rest ->
+        check := false;
+        parse rest
+    | ("-h" | "-help" | "--help") :: _ ->
+        print_endline
+          "usage: ascy_serve [-out DIR] [-seed N] [-model NAME] [-scale smoke|full] [-smoke] \
+           [-native] [-lin] [-no-check] [SCENARIO ...]";
+        Printf.printf "scenarios: %s\n"
+          (String.concat ", "
+             (List.map (fun sc -> sc.Scenario.name) (Scenario.matrix Scenario.Smoke)));
+        exit 0
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scenarios =
+    match !names with
+    | [] -> Scenario.matrix !scale
+    | names -> List.map (Scenario.by_name !scale) (List.rev names)
+  in
+  let model_v = Sim.model_of_name !model in
+  let failed = ref false in
+  Printf.printf "sharded KV service: %d scenario(s), scale %s, seed %d, model %s%s\n\n"
+    (List.length scenarios) (Scenario.scale_name !scale) !seed !model
+    (if !native then " (+native smoke)" else "");
+  Results.with_sink "service" (fun () ->
+      let rows =
+        List.map
+          (fun sc ->
+            let spotcheck = !lin && sc.Scenario.name = "flash-crowd" in
+            let r = Service_run.run ~seed:!seed ~model:model_v ~check:!check ~spotcheck sc in
+            Results.record
+              (Service_results.of_run
+                 ~label:(Printf.sprintf "%s-%s" sc.Scenario.name (Scenario.scale_name !scale))
+                 r);
+            let verdict =
+              match (r.Service_run.violation, r.Service_run.linearizable) with
+              | Some v, _ ->
+                  failed := true;
+                  "VIOLATION: " ^ v
+              | None, Some false ->
+                  failed := true;
+                  "NOT-LINEARIZABLE"
+              | None, Some true -> "ok+lin"
+              | None, None -> if r.Service_run.checked then "ok" else "unchecked"
+            in
+            let p50, p99, p999 = p50_99_999 r.Service_run.sojourn in
+            [
+              sc.Scenario.name;
+              r.Service_run.algorithm;
+              string_of_int r.Service_run.ops_applied;
+              Report.f3 r.Service_run.throughput_mops;
+              p50;
+              p99;
+              p999;
+              string_of_int r.Service_run.enq_waits;
+              string_of_int r.Service_run.takeovers;
+              verdict;
+            ])
+          scenarios
+      in
+      Report.table ~title:"service scenarios (simulator)"
+        [
+          "scenario"; "algo"; "applied"; "mops"; "p50ns"; "p99ns"; "p999ns"; "waits"; "takeovers";
+          "verdict";
+        ]
+        rows;
+      if !native then begin
+        let rows =
+          List.filter_map
+            (fun sc ->
+              if sc.Scenario.restarts then None
+              else begin
+                let r = Service_native.run ~seed:!seed sc in
+                Results.record
+                  (Service_results.of_native_run
+                     ~label:
+                       (Printf.sprintf "%s-%s-native" sc.Scenario.name
+                          (Scenario.scale_name !scale))
+                     r);
+                let verdict =
+                  match r.Service_native.violation with
+                  | Some v ->
+                      failed := true;
+                      "VIOLATION: " ^ v
+                  | None -> "ok"
+                in
+                Some
+                  [
+                    sc.Scenario.name;
+                    r.Service_native.algorithm;
+                    string_of_int r.Service_native.ops_applied;
+                    Report.f3 r.Service_native.throughput_mops;
+                    string_of_int r.Service_native.enq_waits;
+                    verdict;
+                  ]
+              end)
+            scenarios
+        in
+        if rows <> [] then
+          Report.table ~title:"service scenarios (native domains, wall-clock)"
+            [ "scenario"; "algo"; "applied"; "mops"; "waits"; "verdict" ]
+            rows
+      end);
+  if !failed then begin
+    print_endline "FAIL: service oracle violation";
+    exit 1
+  end;
+  print_endline "all service scenarios clean"

@@ -26,9 +26,10 @@ let f3 x = Printf.sprintf "%.3f" x
 
 (** "p1/p25/p50/p75/p99" latency summary in the figures' style. *)
 let percentiles h =
-  let p = Ascy_util.Histogram.summary h in
   if Ascy_util.Histogram.count h = 0 then "-"
-  else Printf.sprintf "%.0f/%.0f/%.0f/%.0f/%.0f" p.(0) p.(1) p.(2) p.(3) p.(4)
+  else
+    let p = Ascy_util.Histogram.summary h in
+    Printf.sprintf "%.0f/%.0f/%.0f/%.0f/%.0f" p.(0) p.(1) p.(2) p.(3) p.(4)
 
 (** Ratio-to-baseline formatted as the paper's relative-power plots. *)
 let ratio x base = if base = 0.0 then "-" else f3 (x /. base)

@@ -25,17 +25,26 @@ let low = make ~initial:16384 ~update_pct:10 ()
 type op = Search | Insert | Remove
 
 (** Zipf-like skewed key popularity (for the paper's brief "non-uniform
-    workloads" experiments): a fraction [hot_pct] of accesses hit a
-    [hot_keys]-sized prefix of the key range. *)
+    workloads" experiments): exactly a fraction [hot_pct] of accesses hit
+    the [hot_keys]-sized prefix of the key range; the rest are uniform
+    over the remaining (cold) keys.  When [hot_keys >= key_range] every
+    key is hot and the distribution degenerates to uniform. *)
 type skew = { hot_keys : int; hot_pct : int }
 
 let pick_key_skewed w skew rng =
-  if Ascy_util.Xorshift.below rng 100 < skew.hot_pct then
-    1 + Ascy_util.Xorshift.below rng (min skew.hot_keys w.key_range)
-  else 1 + Ascy_util.Xorshift.below rng w.key_range
+  let hot = min skew.hot_keys w.key_range in
+  if hot >= w.key_range || Ascy_util.Xorshift.below rng 100 < skew.hot_pct then
+    1 + Ascy_util.Xorshift.below rng hot
+  else (* cold keys come from the complement of the hot prefix, so the
+          effective hot fraction is exactly [hot_pct] *)
+    1 + hot + Ascy_util.Xorshift.below rng (w.key_range - hot)
 
 let pick_op w rng =
-  let r = Ascy_util.Xorshift.below rng 100 in
-  if r >= w.update_pct then Search else if r land 1 = 0 then Insert else Remove
+  (* One draw over [0, 200) so the update range has an even number of
+     values for any [update_pct]: splitting [0, update_pct) by parity
+     favors inserts whenever [update_pct] is odd (13 even vs 12 odd
+     values at the high-contention 25%), drifting the set size upward. *)
+  let r = Ascy_util.Xorshift.below rng 200 in
+  if r >= 2 * w.update_pct then Search else if r land 1 = 0 then Insert else Remove
 
 let pick_key w rng = 1 + Ascy_util.Xorshift.below rng w.key_range

@@ -1,0 +1,346 @@
+(** The sharded async KV cluster: N registry sets behind a hash router,
+    one bounded request ring per shard, batched single-drainer dispatch,
+    and lease-based fail-over from a crashed primary to its standby.
+
+    A functor over {!Ascy_mem.Memory.S} x {!Ascy_core.Set_intf.MAKER},
+    so the identical service code runs inside the simulator (every queue
+    and structure access priced by the coherence model, crash faults
+    injectable) and natively on OCaml 5 domains for real-machine smoke
+    runs.  All cross-thread control state — queues, routed counters,
+    close flags, heartbeats, leases — lives in [Mem] cells; per-shard
+    measurement state (histograms, per-class counters, the conservation
+    ledger) is host-side and only ever written by the shard's active
+    drainer, so it is single-writer in both backends.
+
+    The per-shard async pipeline follows the per-shard async API shape
+    of succinct-cpp's [SuccinctShardAsync] (SNIPPETS.md 1): clients
+    submit and move on; completions are observed by the shard worker,
+    which stamps the sojourn (enqueue -> completion) latency. *)
+
+module W = Ascy_harness.Workload
+module H = Ascy_util.Histogram
+module X = Ascy_util.Xorshift
+
+(** Runtime knobs the scenario does not fix: virtual-time source and
+    latency unit (simulator) or neither (native), optional per-op
+    history recording, and fail-over staleness tuning. *)
+type knobs = {
+  now : unit -> int;  (** calling thread's clock, cycles; [fun () -> 0] natively *)
+  cycle_ns : float;  (** ns per cycle for latency histograms; [<= 0.] disables them *)
+  record :
+    (sid:int -> op:W.op -> key:int -> ok:bool -> inv:int -> res:int -> unit) option;
+      (** linearizability spot-check hook, called at apply time *)
+  hb_gap : int;  (** standby poll gap, cycles of local work *)
+  hb_polls : int;  (** stale heartbeat polls before a standby takes the lease *)
+}
+
+let default_knobs = { now = (fun () -> 0); cycle_ns = 0.0; record = None; hb_gap = 5_000; hb_polls = 8 }
+
+(** Thread ids are laid out clients first, then primaries, then (when
+    provisioned) standbys — the coordinate system fault plans target. *)
+let primary_tid (sc : Scenario.t) sid = sc.Scenario.nclients + sid
+
+module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
+  module M = A (Mem)
+  module Q = Shard_queue.Make (Mem)
+
+  type request = { rq_op : W.op; rq_key : int; rq_enq : int (* client clock at submit, cycles *) }
+
+  type shard = {
+    sid : int;
+    set : int M.t;
+    queue : request Q.t;
+    closed : bool Mem.r;  (** no further requests will arrive *)
+    hb : int Mem.r;  (** drainer heartbeat *)
+    lease : int Mem.r;  (** 0 = primary owns the shard, 1 = standby took over *)
+    done_flag : bool Mem.r;  (** drainer exited after emptying a closed queue *)
+    (* host-side measurement, active-drainer-owned *)
+    mutable s_applied : int;
+    mutable s_search_ok : int;
+    mutable s_search_miss : int;
+    mutable s_insert_ok : int;
+    mutable s_insert_fail : int;
+    mutable s_remove_ok : int;
+    mutable s_remove_fail : int;
+    mutable s_batches : int;
+    mutable s_max_batch : int;
+    mutable s_takeovers : int;
+    mutable s_inflight : (W.op * int) option;
+        (** the request being applied; survives a drainer crash for the
+            conservation oracle's +-1 slack *)
+    mutable s_crash_inflight : (W.op * int) list;
+        (** in-flight markers captured from a dead primary at takeover
+            (the standby then overwrites [s_inflight] with its own) *)
+    s_net : (int, int) Hashtbl.t;  (** recorded per-key membership delta *)
+    s_sojourn : H.t;  (** enqueue -> completion, ns *)
+    s_service : H.t;  (** apply time alone, ns *)
+  }
+
+  type t = {
+    sc : Scenario.t;
+    shards : shard array;
+    active_clients : int Mem.r;
+    prefilled : (int, unit) Hashtbl.t;
+    c_waits : int array;  (** full-ring wait iterations, per client thread *)
+    c_routed : int array;  (** requests submitted, per client thread *)
+  }
+
+  let route t key = Router.route t.sc.Scenario.routing ~nshards:t.sc.Scenario.nshards key
+
+  let create (sc : Scenario.t) =
+    let mk_shard sid =
+      {
+        sid;
+        set = M.create ~hint:(max 8 (sc.Scenario.initial / max 1 sc.Scenario.nshards)) ();
+        queue = Q.create ~cap:sc.Scenario.queue_cap;
+        closed = Mem.make_fresh false;
+        hb = Mem.make_fresh 0;
+        lease = Mem.make_fresh 0;
+        done_flag = Mem.make_fresh false;
+        s_applied = 0;
+        s_search_ok = 0;
+        s_search_miss = 0;
+        s_insert_ok = 0;
+        s_insert_fail = 0;
+        s_remove_ok = 0;
+        s_remove_fail = 0;
+        s_batches = 0;
+        s_max_batch = 0;
+        s_takeovers = 0;
+        s_inflight = None;
+        s_crash_inflight = [];
+        s_net = Hashtbl.create 256;
+        s_sojourn = H.create ();
+        s_service = H.create ();
+      }
+    in
+    {
+      sc;
+      shards = Array.init sc.Scenario.nshards mk_shard;
+      active_clients = Mem.make_fresh sc.Scenario.nclients;
+      prefilled = Hashtbl.create (max 16 sc.Scenario.initial);
+      c_waits = Array.make sc.Scenario.nclients 0;
+      c_routed = Array.make sc.Scenario.nclients 0;
+    }
+
+  (** Prefill [sc.initial] distinct keys, routed to their owning shards.
+      Call before the run starts (outside simulated time). *)
+  let prefill t ~seed =
+    let sc = t.sc in
+    let rng = X.create ((seed * 31) + 7) in
+    let filled = ref 0 in
+    while !filled < sc.Scenario.initial do
+      let k = 1 + X.below rng sc.Scenario.key_range in
+      if M.insert t.shards.(route t k).set k 0 then begin
+        incr filled;
+        Hashtbl.replace t.prefilled k ()
+      end
+    done
+
+  (* ---------------------------------------------------------------- *)
+  (* Client side                                                       *)
+  (* ---------------------------------------------------------------- *)
+
+  (** Load-generator thread [tid]: multiplexes its share of the session
+      population round-robin (every session advances one request per
+      round, like an event-loop frontend), routes each request, and
+      submits it to the owning shard's ring.  The last client to finish
+      closes every shard. *)
+  let client_body t ~knobs ~seed tid () =
+    let sc = t.sc in
+    let sessions =
+      (* sessions are dealt round-robin: tid, tid + nclients, ... *)
+      let n = ref 0 in
+      for s = 0 to sc.Scenario.sessions - 1 do
+        if s mod sc.Scenario.nclients = tid then incr n
+      done;
+      Array.init !n (fun i ->
+          let sid = tid + (i * sc.Scenario.nclients) in
+          X.create ((seed * 2654435761) + (sid * 40503) + 17))
+    in
+    for round = 0 to sc.Scenario.ops_per_session - 1 do
+      Array.iter
+        (fun rng ->
+          let op = Scenario.sample_op sc rng in
+          let key = Scenario.sample_key sc ~round rng in
+          let rq = { rq_op = op; rq_key = key; rq_enq = knobs.now () } in
+          let waits = Q.enqueue t.shards.(route t key).queue rq in
+          t.c_waits.(tid) <- t.c_waits.(tid) + waits;
+          t.c_routed.(tid) <- t.c_routed.(tid) + 1)
+        sessions
+    done;
+    if Mem.fetch_and_add t.active_clients (-1) = 1 then
+      Array.iter (fun sh -> Mem.set sh.closed true) t.shards
+
+  (* ---------------------------------------------------------------- *)
+  (* Shard workers                                                     *)
+  (* ---------------------------------------------------------------- *)
+
+  let apply_one sh ~knobs (rq : request) =
+    sh.s_inflight <- Some (rq.rq_op, rq.rq_key);
+    let t0 = knobs.now () in
+    let ok =
+      match rq.rq_op with
+      | W.Search -> M.search sh.set rq.rq_key <> None
+      | W.Insert -> M.insert sh.set rq.rq_key (1 + sh.sid)
+      | W.Remove -> M.remove sh.set rq.rq_key
+    in
+    M.op_done sh.set;
+    let t1 = knobs.now () in
+    (match (rq.rq_op, ok) with
+    | W.Search, true -> sh.s_search_ok <- sh.s_search_ok + 1
+    | W.Search, false -> sh.s_search_miss <- sh.s_search_miss + 1
+    | W.Insert, true ->
+        sh.s_insert_ok <- sh.s_insert_ok + 1;
+        Hashtbl.replace sh.s_net rq.rq_key
+          (1 + (try Hashtbl.find sh.s_net rq.rq_key with Not_found -> 0))
+    | W.Insert, false -> sh.s_insert_fail <- sh.s_insert_fail + 1
+    | W.Remove, true ->
+        sh.s_remove_ok <- sh.s_remove_ok + 1;
+        Hashtbl.replace sh.s_net rq.rq_key
+          ((try Hashtbl.find sh.s_net rq.rq_key with Not_found -> 0) - 1)
+    | W.Remove, false -> sh.s_remove_fail <- sh.s_remove_fail + 1);
+    sh.s_applied <- sh.s_applied + 1;
+    if knobs.cycle_ns > 0.0 then begin
+      H.add sh.s_service (float_of_int (t1 - t0) *. knobs.cycle_ns);
+      H.add sh.s_sojourn (float_of_int (max 0 (t1 - rq.rq_enq)) *. knobs.cycle_ns)
+    end;
+    (match knobs.record with
+    | Some f -> f ~sid:sh.sid ~op:rq.rq_op ~key:rq.rq_key ~ok ~inv:t0 ~res:t1
+    | None -> ());
+    (* the commit makes the application durable: a crash before this
+       point re-applies the request under the standby, a crash after it
+       loses nothing *)
+    Q.commit sh.queue;
+    sh.s_inflight <- None
+
+  (** Drain loop shared by the primary and a post-takeover standby:
+      batched dispatch (up to [batch_max] per wakeup), heartbeat bump
+      per request, exit once the shard is closed and the ring is dry. *)
+  let drain_loop t sh ~knobs =
+    let sc = t.sc in
+    let running = ref true in
+    while !running do
+      Mem.set sh.hb (Mem.get sh.hb + 1);
+      let n = ref 0 in
+      let continue = ref true in
+      while !continue && !n < sc.Scenario.batch_max do
+        match Q.peek sh.queue with
+        | Some rq ->
+            apply_one sh ~knobs rq;
+            Mem.set sh.hb (Mem.get sh.hb + 1);
+            incr n
+        | None -> continue := false
+      done;
+      if !n > 0 then begin
+        sh.s_batches <- sh.s_batches + 1;
+        if !n > sh.s_max_batch then sh.s_max_batch <- !n
+      end
+      else if Mem.get sh.closed && Q.is_empty sh.queue then begin
+        Mem.set sh.done_flag true;
+        running := false
+      end
+      else Mem.cpu_relax ()
+    done
+
+  let primary_body t sh ~knobs () = drain_loop t sh ~knobs
+
+  (** Standby worker: watch the primary's heartbeat; after [hb_polls]
+      stale observations, take the lease and drain the shard to
+      completion.  The lease CAS keeps at most one takeover even if the
+      protocol ever grows more standbys. *)
+  let standby_body t sh ~knobs () =
+    let rec watch last stale =
+      if Mem.get sh.done_flag then ()
+      else begin
+        Mem.work knobs.hb_gap;
+        let h = Mem.get sh.hb in
+        if h <> last then watch h 0
+        else if stale + 1 >= knobs.hb_polls then begin
+          if Mem.cas sh.lease 0 1 then begin
+            sh.s_takeovers <- sh.s_takeovers + 1;
+            (* freeze the corpse's in-flight marker before our own
+               draining overwrites it — the conservation oracle widens
+               its slack by exactly this request *)
+            (match sh.s_inflight with
+            | Some x -> sh.s_crash_inflight <- x :: sh.s_crash_inflight
+            | None -> ());
+            drain_loop t sh ~knobs
+          end
+          else watch h 0
+        end
+        else watch h (stale + 1)
+      end
+    in
+    watch (Mem.get sh.hb) 0
+
+  (** Thread bodies in tid order: clients, then primaries, then (when
+      provisioned) standbys — see {!primary_tid}. *)
+  let bodies t ~knobs ~seed =
+    let sc = t.sc in
+    let nc = sc.Scenario.nclients and ns = sc.Scenario.nshards in
+    Array.init (Scenario.nthreads sc) (fun tid ->
+        if tid < nc then client_body t ~knobs ~seed tid
+        else if tid < nc + ns then primary_body t t.shards.(tid - nc) ~knobs
+        else standby_body t t.shards.(tid - nc - ns) ~knobs)
+
+  let primary_tid sc sid = sc.Scenario.nclients + sid
+
+  (* ---------------------------------------------------------------- *)
+  (* Post-run oracles                                                  *)
+  (* ---------------------------------------------------------------- *)
+
+  (** Structural validation plus per-key conservation from the recorded
+      completion ledger, with +-1 slack on the in-flight request of any
+      crashed drainer (its application may have landed on either side of
+      the crash; a standby may also have re-applied it — both legal).
+      [crashed_inflight] lists the (op, key) pairs left in flight by
+      crashed workers.  Returns [None] when everything checks out. *)
+  let check t ~crashed_inflight =
+    let structural =
+      Array.fold_left
+        (fun acc sh ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match M.validate sh.set with
+              | Ok () -> None
+              | Error msg -> Some (Printf.sprintf "shard %d invalid: %s" sh.sid msg)))
+        None t.shards
+    in
+    match structural with
+    | Some _ as v -> v
+    | None ->
+        let bad = ref [] in
+        let check_key sh k net =
+          let wanted = (if Hashtbl.mem t.prefilled k then 1 else 0) + net in
+          let lo = ref 0 and hi = ref 0 in
+          List.iter
+            (fun (op, k') ->
+              if k' = k then
+                match op with W.Insert -> incr hi | W.Remove -> decr lo | W.Search -> ())
+            crashed_inflight;
+          let got = if M.search sh.set k <> None then 1 else 0 in
+          if got < wanted + !lo || got > wanted + !hi then
+            bad :=
+              Printf.sprintf
+                "shard %d key %d: net %d from recorded ops (slack %+d..%+d), membership %d"
+                sh.sid k wanted !lo !hi got
+              :: !bad
+        in
+        Array.iter (fun sh -> Hashtbl.iter (check_key sh) sh.s_net) t.shards;
+        (* keys only touched by a crashed in-flight op have no ledger
+           entry; check them against their owning shard too *)
+        List.iter
+          (fun (op, k) ->
+            if op <> W.Search then
+              let sh = t.shards.(route t k) in
+              if not (Hashtbl.mem sh.s_net k) then check_key sh k 0)
+          crashed_inflight;
+        (match !bad with
+        | [] -> None
+        | l -> Some ("conservation violated: " ^ String.concat "; " (List.rev l)))
+
+  let total_applied t = Array.fold_left (fun a sh -> a + sh.s_applied) 0 t.shards
+  let total_size t = Array.fold_left (fun a sh -> a + M.size sh.set) 0 t.shards
+end

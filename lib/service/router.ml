@@ -1,0 +1,32 @@
+(** Key -> shard routing for the sharded KV service.
+
+    Two policies:
+    - [Mult]: Fibonacci/Knuth multiplicative hashing over the key bits.
+      Spreads any key population (including contiguous hot prefixes)
+      evenly across shards — the production default.
+    - [Mod]: plain [key mod nshards].  Deliberately skew-prone: keys that
+      share a residue class all land on one shard, which is exactly what
+      the shard-skew scenario needs to model an unbalanced cluster.
+
+    Routing is pure and deterministic — clients, workers, and the
+    post-run checkers must all agree on the owner of a key without
+    communicating. *)
+
+type policy = Mult | Mod
+
+let policy_name = function Mult -> "mult" | Mod -> "mod"
+
+let policy_of_name = function
+  | "mult" -> Mult
+  | "mod" -> Mod
+  | s -> invalid_arg ("Router.policy_of_name: " ^ s)
+
+(* 2^62 / golden ratio, odd — the classic multiplicative-hash constant
+   trimmed to OCaml's 63-bit native ints. *)
+let mult_const = 0x2545F4914F6CDD1D
+
+let route policy ~nshards key =
+  if nshards <= 0 then invalid_arg "Router.route: nshards must be positive";
+  match policy with
+  | Mod -> ((key mod nshards) + nshards) mod nshards
+  | Mult -> key * mult_const land max_int mod nshards

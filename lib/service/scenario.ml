@@ -1,0 +1,243 @@
+(** The service scenario matrix: named client-population shapes for the
+    sharded KV service, from steady read-mostly traffic to a zipf
+    hot-key flash crowd and rolling shard restarts.
+
+    A scenario fixes everything about a run except the seed and the
+    coherence model: structure algorithm, shard/client topology, session
+    population, key population, update mix, queue/batch sizing, and
+    whether shard primaries are crash-stopped mid-run (standby workers
+    then take over their queues — the service-level reuse of the chaos
+    engine's [F_crash] fault plans). *)
+
+module W = Ascy_harness.Workload
+module X = Ascy_util.Xorshift
+
+type keydist =
+  | Uniform  (** uniform over [1, key_range] *)
+  | Hot of { hot_keys : int; hot_pct : int; shift_at : int option }
+      (** zipf-like: [hot_pct]% of requests hit a [hot_keys]-wide window,
+          the rest are uniform over the complement.  [shift_at = Some r]
+          teleports the window to mid-range after round [r] of every
+          session — the "flash crowd" moving to a new hot set. *)
+  | Pinned of { shard : int; pct : int }
+      (** [pct]% of requests are remapped onto keys owned by [shard]
+          (requires [Mod] routing) — deliberate shard skew. *)
+
+type t = {
+  name : string;
+  algo : string;  (** registry algorithm behind every shard *)
+  nshards : int;
+  nclients : int;  (** client (load-generator) threads *)
+  sessions : int;  (** simulated client sessions, multiplexed over the client threads *)
+  ops_per_session : int;
+  key_range : int;
+  initial : int;  (** keys prefilled across the cluster before the run *)
+  update_pct : int;
+  keydist : keydist;
+  routing : Router.policy;
+  queue_cap : int;
+  batch_max : int;  (** requests a worker drains per dispatch *)
+  standby : bool;  (** provision a standby worker per shard *)
+  restarts : bool;  (** crash every primary mid-run (staggered); implies [standby] *)
+}
+
+let total_ops sc = sc.sessions * sc.ops_per_session
+let workers sc = sc.nshards * if sc.standby || sc.restarts then 2 else 1
+let nthreads sc = sc.nclients + workers sc
+
+(* ------------------------------------------------------------------ *)
+(* Samplers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Key for one request of session round [round].  Deterministic per rng
+    state; cold draws never land in the hot window (same semantics as
+    the fixed {!Ascy_harness.Workload.pick_key_skewed}). *)
+let sample_key sc ~round rng =
+  match sc.keydist with
+  | Uniform -> 1 + X.below rng sc.key_range
+  | Hot { hot_keys; hot_pct; shift_at } ->
+      let hot = min hot_keys sc.key_range in
+      if hot >= sc.key_range then 1 + X.below rng sc.key_range
+      else
+        let off =
+          match shift_at with
+          | Some r when round >= r -> (sc.key_range - hot) / 2
+          | _ -> 0
+        in
+        if X.below rng 100 < hot_pct then 1 + off + X.below rng hot
+        else
+          let c = X.below rng (sc.key_range - hot) in
+          1 + (if c < off then c else c + hot)
+  | Pinned { shard; pct } ->
+      let k = 1 + X.below rng sc.key_range in
+      if X.below rng 100 >= pct then k
+      else
+        (* snap onto [shard]'s residue class under Mod routing *)
+        let k' = (k / sc.nshards * sc.nshards) + shard in
+        if k' < 1 then k' + sc.nshards
+        else if k' > sc.key_range then k' - sc.nshards
+        else k'
+
+(** The update mix reuses the (bias-fixed) workload op picker. *)
+let workload_of sc = W.make ~key_range:sc.key_range ~initial:sc.initial ~update_pct:sc.update_pct ()
+
+let sample_op sc rng = W.pick_op (workload_of sc) rng
+
+(* ------------------------------------------------------------------ *)
+(* The matrix                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Run-size preset: [Smoke] keeps CI and unit tests in seconds; [Full]
+    is the million-key / thousands-of-sessions configuration the
+    north-star asks for (minutes on the MESI model, use [-model flat]
+    for quick sweeps). *)
+type scale = Smoke | Full
+
+let scale_name = function Smoke -> "smoke" | Full -> "full"
+
+let base scale =
+  match scale with
+  | Full ->
+      {
+        name = "";
+        algo = "ht-clht-lb";
+        nshards = 8;
+        nclients = 4;
+        sessions = 2_000;
+        ops_per_session = 24;
+        key_range = 2_000_000;
+        initial = 1_000_000;
+        update_pct = 10;
+        keydist = Uniform;
+        routing = Router.Mult;
+        queue_cap = 64;
+        batch_max = 8;
+        standby = false;
+        restarts = false;
+      }
+  | Smoke ->
+      {
+        name = "";
+        algo = "ht-clht-lb";
+        nshards = 4;
+        nclients = 2;
+        sessions = 64;
+        ops_per_session = 12;
+        key_range = 8_192;
+        initial = 4_096;
+        update_pct = 10;
+        keydist = Uniform;
+        routing = Router.Mult;
+        queue_cap = 32;
+        batch_max = 8;
+        standby = false;
+        restarts = false;
+      }
+
+(** Zipf hot-key flash crowd: 90% of traffic on a tiny window that
+    jumps mid-run. *)
+let flash_crowd scale =
+  let b = base scale in
+  {
+    b with
+    name = "flash-crowd";
+    keydist =
+      Hot
+        {
+          hot_keys = (match scale with Full -> 64 | Smoke -> 16);
+          hot_pct = 90;
+          shift_at = Some (b.ops_per_session / 2);
+        };
+    update_pct = 25;
+  }
+
+(** Read-mostly steady state (the paper's low-update setting). *)
+let read_mostly scale = { (base scale) with name = "read-mostly"; update_pct = 1 }
+
+(** Churn-heavy: every other request is an update. *)
+let churn_heavy scale = { (base scale) with name = "churn-heavy"; update_pct = 50 }
+
+(** Shard skew: Mod routing plus 60% of requests pinned to shard 0's
+    residue class — one hot shard, the rest idling. *)
+let shard_skew scale =
+  {
+    (base scale) with
+    name = "shard-skew";
+    routing = Router.Mod;
+    keydist = Pinned { shard = 0; pct = 60 };
+  }
+
+(** Rolling restarts: every shard primary is crash-stopped mid-run
+    (staggered, F_crash), standbys take over the lease and drain.  Uses
+    the lock-free CLHT so a primary killed mid-operation cannot leave a
+    lock behind for its standby to block on (declared and chaos-verified
+    Non_blocking); smaller key range keeps the post-run conservation
+    sweep cheap. *)
+let rolling_restart scale =
+  let b = base scale in
+  {
+    b with
+    name = "rolling-restart";
+    algo = "ht-clht-lf";
+    update_pct = 20;
+    key_range = (match scale with Full -> 100_000 | Smoke -> 4_096);
+    initial = (match scale with Full -> 50_000 | Smoke -> 2_048);
+    standby = true;
+    restarts = true;
+  }
+
+let matrix scale =
+  [
+    flash_crowd scale;
+    read_mostly scale;
+    churn_heavy scale;
+    shard_skew scale;
+    rolling_restart scale;
+  ]
+
+let by_name scale name =
+  match List.find_opt (fun sc -> sc.name = name) (matrix scale) with
+  | Some sc -> sc
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown scenario %S (have: %s)" name
+           (String.concat ", " (List.map (fun sc -> sc.name) (matrix scale))))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (BENCH_service.json meta)                             *)
+(* ------------------------------------------------------------------ *)
+
+module J = Ascy_util.Json
+
+let keydist_json = function
+  | Uniform -> J.Obj [ ("kind", J.String "uniform") ]
+  | Hot { hot_keys; hot_pct; shift_at } ->
+      J.Obj
+        [
+          ("kind", J.String "hot");
+          ("hot_keys", J.Int hot_keys);
+          ("hot_pct", J.Int hot_pct);
+          ("shift_at", match shift_at with Some r -> J.Int r | None -> J.Null);
+        ]
+  | Pinned { shard; pct } ->
+      J.Obj [ ("kind", J.String "pinned"); ("shard", J.Int shard); ("pct", J.Int pct) ]
+
+let to_json sc =
+  J.Obj
+    [
+      ("name", J.String sc.name);
+      ("algo", J.String sc.algo);
+      ("nshards", J.Int sc.nshards);
+      ("nclients", J.Int sc.nclients);
+      ("sessions", J.Int sc.sessions);
+      ("ops_per_session", J.Int sc.ops_per_session);
+      ("key_range", J.Int sc.key_range);
+      ("initial", J.Int sc.initial);
+      ("update_pct", J.Int sc.update_pct);
+      ("keydist", keydist_json sc.keydist);
+      ("routing", J.String (Router.policy_name sc.routing));
+      ("queue_cap", J.Int sc.queue_cap);
+      ("batch_max", J.Int sc.batch_max);
+      ("standby", J.Bool (sc.standby || sc.restarts));
+      ("restarts", J.Bool sc.restarts);
+    ]

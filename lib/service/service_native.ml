@@ -1,0 +1,53 @@
+(** Run a service scenario natively on OCaml 5 domains — the real-domain
+    smoke mode.  The identical cluster code executes with
+    {!Ascy_mem.Mem_native} cells; there is no virtual clock, no fault
+    injection, and no standby (a standby's staleness heuristic is only
+    sound under the simulator's fair clocks), so the run measures
+    wall-clock service throughput plus the post-run validation and
+    conservation oracles. *)
+
+module Registry = Ascylib.Registry
+
+type result = {
+  scenario : Scenario.t;
+  algorithm : string;
+  nthreads : int;
+  seed : int;
+  ops_requested : int;
+  ops_applied : int;
+  seconds : float;
+  throughput_mops : float;
+  per_shard_applied : int array;
+  enq_waits : int;
+  violation : string option;
+  final_size : int;
+}
+
+let run ?(seed = 1) (sc : Scenario.t) =
+  if sc.Scenario.restarts then
+    invalid_arg "Service_native.run: rolling restarts are simulator-only (fault injection)";
+  let sc = { sc with Scenario.standby = false } in
+  let (module A : Ascy_core.Set_intf.MAKER) = (Registry.by_name sc.Scenario.algo).Registry.maker in
+  let module C = Cluster.Make (Ascy_mem.Mem_native) (A) in
+  let t = C.create sc in
+  C.prefill t ~seed;
+  let bodies = C.bodies t ~knobs:Cluster.default_knobs ~seed in
+  let t0 = Unix.gettimeofday () in
+  let domains = Array.map Domain.spawn bodies in
+  Array.iter Domain.join domains;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let applied = C.total_applied t in
+  {
+    scenario = sc;
+    algorithm = C.M.name;
+    nthreads = Scenario.nthreads sc;
+    seed;
+    ops_requested = Scenario.total_ops sc;
+    ops_applied = applied;
+    seconds;
+    throughput_mops = (if seconds > 0.0 then float_of_int applied /. seconds /. 1e6 else 0.0);
+    per_shard_applied = Array.map (fun (sh : C.shard) -> sh.C.s_applied) t.C.shards;
+    enq_waits = Array.fold_left ( + ) 0 t.C.c_waits;
+    violation = C.check t ~crashed_inflight:[];
+    final_size = C.total_size t;
+  }

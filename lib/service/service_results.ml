@@ -1,0 +1,111 @@
+(** BENCH_service.json — structured results for the sharded KV service,
+    written through the existing {!Ascy_harness.Results} sink (schema
+    version 1, golden-pinned by [test/test_service.ml]).
+
+    One simulated <run> record:
+    {v
+    { "label": "...", "kind": "service", "scenario": { ... },
+      "algorithm": "ht-clht-lb", "platform": "Xeon20", "nthreads": N,
+      "seed": N, "model": "mesi",
+      "ops_requested": N, "ops_applied": N,
+      "seconds": s, "throughput_mops": x,
+      "latency_ns": { "sojourn": <pdist> | null, "service": <pdist> | null },
+      "shards": [ { "sid": N, "applied": N, "search_ok": N,
+                    "search_miss": N, "insert_ok": N, "insert_fail": N,
+                    "remove_ok": N, "remove_fail": N, "batches": N,
+                    "max_batch": N, "takeovers": N,
+                    "throughput_mops": x, "final_size": N,
+                    "sojourn_ns": <pdist> | null }, ... ],
+      "enqueue_waits": N, "takeovers": N, "crashed": [tid, ...],
+      "faults": N, "checked": b, "violation": str | null,
+      "linearizable": b | null, "final_size": N,
+      "stats": { <the Results.stats_json counter set> } }
+    v}
+    where <pdist> is [{ "count": N, "mean": x, "p50": x, "p99": x,
+    "p999": x }].  Native smoke records use ["kind": "service-native"]
+    and carry only wall-clock throughput plus the oracle verdict. *)
+
+module J = Ascy_util.Json
+module Results = Ascy_harness.Results
+
+let shard_json (ss : Service_run.shard_stat) =
+  J.Obj
+    [
+      ("sid", J.Int ss.Service_run.ss_sid);
+      ("applied", J.Int ss.Service_run.ss_applied);
+      ("search_ok", J.Int ss.Service_run.ss_search_ok);
+      ("search_miss", J.Int ss.Service_run.ss_search_miss);
+      ("insert_ok", J.Int ss.Service_run.ss_insert_ok);
+      ("insert_fail", J.Int ss.Service_run.ss_insert_fail);
+      ("remove_ok", J.Int ss.Service_run.ss_remove_ok);
+      ("remove_fail", J.Int ss.Service_run.ss_remove_fail);
+      ("batches", J.Int ss.Service_run.ss_batches);
+      ("max_batch", J.Int ss.Service_run.ss_max_batch);
+      ("takeovers", J.Int ss.Service_run.ss_takeovers);
+      ("throughput_mops", J.Float ss.Service_run.ss_throughput_mops);
+      ("final_size", J.Int ss.Service_run.ss_final_size);
+      ("sojourn_ns", Results.percentile_summary_json ss.Service_run.ss_sojourn);
+    ]
+
+(** Serialize one simulated service run.  Every field is derived from
+    simulated cycles or deterministic counters — same seed, same bytes
+    (the only wall-clock field in a BENCH file is the sink's
+    [generated_at_unix]). *)
+let of_run ?(label = "") (r : Service_run.result) =
+  J.Obj
+    [
+      ("label", J.String label);
+      ("kind", J.String "service");
+      ("scenario", Scenario.to_json r.Service_run.scenario);
+      ("algorithm", J.String r.Service_run.algorithm);
+      ("platform", J.String r.Service_run.platform);
+      ("nthreads", J.Int r.Service_run.nthreads);
+      ("seed", J.Int r.Service_run.seed);
+      ("model", J.String r.Service_run.model);
+      ("ops_requested", J.Int r.Service_run.ops_requested);
+      ("ops_applied", J.Int r.Service_run.ops_applied);
+      ("seconds", J.Float r.Service_run.seconds);
+      ("throughput_mops", J.Float r.Service_run.throughput_mops);
+      ( "latency_ns",
+        J.Obj
+          [
+            ("sojourn", Results.percentile_summary_json r.Service_run.sojourn);
+            ("service", Results.percentile_summary_json r.Service_run.service);
+          ] );
+      ("shards", J.List (Array.to_list (Array.map shard_json r.Service_run.shard_stats)));
+      ("enqueue_waits", J.Int r.Service_run.enq_waits);
+      ("takeovers", J.Int r.Service_run.takeovers);
+      ("crashed", J.List (List.map (fun tid -> J.Int tid) r.Service_run.crashed));
+      ("faults", J.Int (List.length r.Service_run.faults));
+      ("checked", J.Bool r.Service_run.checked);
+      ( "violation",
+        match r.Service_run.violation with Some v -> J.String v | None -> J.Null );
+      ( "linearizable",
+        match r.Service_run.linearizable with Some b -> J.Bool b | None -> J.Null );
+      ("final_size", J.Int r.Service_run.final_size);
+      ("stats", Results.stats_json r.Service_run.stats);
+    ]
+
+(** Serialize one native (real-domains) smoke run.  Wall-clock timing:
+    not deterministic, and excluded from byte-identity claims. *)
+let of_native_run ?(label = "") (r : Service_native.result) =
+  J.Obj
+    [
+      ("label", J.String label);
+      ("kind", J.String "service-native");
+      ("scenario", Scenario.to_json r.Service_native.scenario);
+      ("algorithm", J.String r.Service_native.algorithm);
+      ("nthreads", J.Int r.Service_native.nthreads);
+      ("seed", J.Int r.Service_native.seed);
+      ("ops_requested", J.Int r.Service_native.ops_requested);
+      ("ops_applied", J.Int r.Service_native.ops_applied);
+      ("seconds", J.Float r.Service_native.seconds);
+      ("throughput_mops", J.Float r.Service_native.throughput_mops);
+      ( "per_shard_applied",
+        J.List (Array.to_list (Array.map (fun n -> J.Int n) r.Service_native.per_shard_applied))
+      );
+      ("enqueue_waits", J.Int r.Service_native.enq_waits);
+      ( "violation",
+        match r.Service_native.violation with Some v -> J.String v | None -> J.Null );
+      ("final_size", J.Int r.Service_native.final_size);
+    ]

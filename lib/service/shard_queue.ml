@@ -1,0 +1,87 @@
+(** Bounded multi-producer / single-consumer request ring, written
+    against the shared-memory abstraction so the same queue runs inside
+    the simulator (clients and shard workers as simulated threads, every
+    access charged by the coherence model) and natively on OCaml domains.
+
+    Design, chosen for crash-tolerant hand-off (rolling shard restarts
+    inject {!Ascy_mem.Sim.fault}[.F_crash] into the consumer):
+
+    - producers claim a ticket with one [fetch_and_add] on [tail], wait
+      until the slot's previous occupant has been consumed (ring not
+      full: [head + cap > ticket]), publish the payload, then announce
+      it by writing [ticket + 1] into the slot's [ready] cell;
+    - the {e single} consumer (the shard's lease holder) {e peeks} the
+      item at [head] without advancing anything, applies it, and only
+      then {e commits} by bumping [head] — one plain store.
+
+    [head] is therefore the only consumer-side state: if the consumer
+    crash-stops anywhere, a standby taking over the lease resumes from
+    [head] and re-applies at most the one uncommitted in-flight request
+    (the conservation oracle allows exactly that +-1 per crashed
+    worker).  There is no consumer state that can wedge producers: they
+    only ever wait on [head] progress, and [head] progress only needs
+    {e some} live consumer.
+
+    Payload and [ready] cells of one slot share a cache line (one line
+    transfer hands a request from producer to consumer); [head] and
+    [tail] live on their own lines. *)
+
+module Make (Mem : Ascy_mem.Memory.S) = struct
+  type 'a t = {
+    cap : int;
+    slots : 'a option Mem.r array;
+    ready : int Mem.r array;  (** [ticket + 1] once the slot holds that ticket's payload *)
+    tail : int Mem.r;  (** next ticket to hand to a producer *)
+    head : int Mem.r;  (** next ticket the consumer will apply *)
+  }
+
+  let create ~cap =
+    if cap <= 0 then invalid_arg "Shard_queue.create: cap must be positive";
+    let pairs =
+      Array.init cap (fun _ ->
+          let line = Mem.new_line () in
+          (Mem.make line None, Mem.make line 0))
+    in
+    {
+      cap;
+      slots = Array.map fst pairs;
+      ready = Array.map snd pairs;
+      tail = Mem.make_fresh 0;
+      head = Mem.make_fresh 0;
+    }
+
+  (** [enqueue q v] publishes [v]; spins (bounded by consumer progress)
+      while the ring is full.  Returns the number of full-ring wait
+      iterations, for the load generator's backpressure counters. *)
+  let enqueue q v =
+    let ticket = Mem.fetch_and_add q.tail 1 in
+    let waits = ref 0 in
+    while Mem.get q.head + q.cap <= ticket do
+      incr waits;
+      Mem.cpu_relax ()
+    done;
+    let i = ticket mod q.cap in
+    Mem.set q.slots.(i) (Some v);
+    Mem.set q.ready.(i) (ticket + 1);
+    !waits
+
+  (** [peek q] returns the request at [head] if one is published, without
+      consuming it.  Consumer-only. *)
+  let peek q =
+    let h = Mem.get q.head in
+    if Mem.get q.ready.(h mod q.cap) = h + 1 then Mem.get q.slots.(h mod q.cap) else None
+
+  (** [commit q] consumes the previously peeked request — the single
+      store that makes its application durable across a consumer crash.
+      Consumer-only. *)
+  let commit q =
+    let h = Mem.get q.head in
+    Mem.set q.head (h + 1)
+
+  (** No ticket left unconsumed.  Meaningful once producers are done
+      (the service closes shards only after every client finished). *)
+  let is_empty q = Mem.get q.head >= Mem.get q.tail
+
+  (** Published-but-unconsumed backlog (approximate under concurrency). *)
+  let length q = max 0 (Mem.get q.tail - Mem.get q.head)
+end

@@ -1,0 +1,86 @@
+(* Regenerates the golden serialization pinned by
+   test_service.test_service_golden_file:
+
+     dune exec test/gen_service_golden.exe > test/service_golden.json
+
+   The synthetic result below MUST stay in sync with
+   [Test_service.synthetic_result]; regenerating the golden file is the
+   deliberate act of changing the BENCH_service.json record schema. *)
+
+module H = Ascy_util.Histogram
+module Sim = Ascy_mem.Sim
+module Scenario = Ascy_service.Scenario
+module Service_run = Ascy_service.Service_run
+module Service_results = Ascy_service.Service_results
+
+let synthetic_result () : Service_run.result =
+  let hist vals =
+    let h = H.create () in
+    List.iter (H.add h) vals;
+    h
+  in
+  let shard sid =
+    {
+      Service_run.ss_sid = sid;
+      ss_applied = 50;
+      ss_search_ok = 20;
+      ss_search_miss = 15;
+      ss_insert_ok = 5;
+      ss_insert_fail = 3;
+      ss_remove_ok = 4;
+      ss_remove_fail = 3;
+      ss_batches = 10;
+      ss_max_batch = 8;
+      ss_takeovers = sid;
+      ss_throughput_mops = 0.5;
+      ss_sojourn = hist [ 100.0; 200.0; 300.0; 400.0 ];
+      ss_service = hist [ 10.0; 20.0 ];
+      ss_final_size = 40;
+    }
+  in
+  {
+    Service_run.scenario = { (Scenario.base Scenario.Smoke) with Scenario.name = "golden" };
+    algorithm = "golden-algo";
+    platform = "Xeon20";
+    nthreads = 6;
+    seed = 7;
+    model = "mesi";
+    ops_requested = 100;
+    ops_applied = 100;
+    seconds = 0.001;
+    throughput_mops = 0.1;
+    shard_stats = [| shard 0; shard 1 |];
+    sojourn = hist [ 100.0; 200.0; 300.0; 400.0; 100.0; 200.0; 300.0; 400.0 ];
+    service = hist [ 10.0; 20.0; 10.0; 20.0 ];
+    enq_waits = 12;
+    takeovers = 1;
+    crashed = [ 3 ];
+    faults = [ { Sim.fe_at = 500; fe_tid = 3; fe_fault = Sim.F_crash } ];
+    checked = true;
+    violation = None;
+    linearizable = Some true;
+    final_size = 80;
+    stats =
+      {
+        Sim.makespan_cycles = 2300;
+        seconds = 0.001;
+        accesses = 1000;
+        hits_l1 = 900;
+        hits_llc = 50;
+        transfers_local = 20;
+        transfers_remote = 10;
+        fetch_remote = 5;
+        misses_mem = 15;
+        atomics = 30;
+        stores = 120;
+        energy_j = 0.5;
+        power_w = 500.0;
+        events = Array.init Ascy_mem.Event.count (fun i -> i);
+      };
+  }
+
+let () =
+  print_string
+    (Ascy_util.Json.to_string ~indent:1
+       (Service_results.of_run ~label:"golden" (synthetic_result ())));
+  print_newline ()

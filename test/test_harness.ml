@@ -31,6 +31,60 @@ let test_workload_mix () =
   let k = W.pick_key wl rng in
   Alcotest.(check bool) "keys in [1, 2N]" true (k >= 1 && k <= 2048)
 
+(* The update range must split evenly between inserts and removes for
+   ANY update_pct, including odd ones: the old single-[below 100] picker
+   gave inserts 13 of the 25 values at the paper's high-contention 25%,
+   an E[ins - rem] = N/25 size drift.  Unbiased, |ins - rem| is a
+   +-sqrt(N) random walk: bound it far below the old bias. *)
+let test_pick_op_parity () =
+  List.iter
+    (fun update_pct ->
+      let wl = W.make ~initial:1024 ~update_pct () in
+      let rng = Ascy_util.Xorshift.create 11 in
+      let ins = ref 0 and rem = ref 0 and n = 200_000 in
+      for _ = 1 to n do
+        match W.pick_op wl rng with
+        | W.Insert -> incr ins
+        | W.Remove -> incr rem
+        | W.Search -> ()
+      done;
+      let diff = abs (!ins - !rem) in
+      (* old bias at 25%: E[diff] = 8000 over 200k draws; unbiased
+         sigma ~= sqrt(50k) ~= 224 *)
+      Alcotest.(check bool)
+        (Printf.sprintf "pct %d: |ins - rem| = %d small" update_pct diff)
+        true (diff < 1_500);
+      let pct = 100.0 *. float_of_int (!ins + !rem) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "pct %d: update mix %.2f%%" update_pct pct)
+        true
+        (Float.abs (pct -. float_of_int update_pct) < 1.0))
+    [ 25; 10; 1 ]
+
+(* Cold draws must come from the complement of the hot prefix: the old
+   cold branch sampled the whole range, leaking hot_keys/key_range of
+   the cold mass back into the prefix (effective 82% instead of 80%
+   at hot=10/range=100). *)
+let test_pick_key_skewed_exact () =
+  let wl = W.make ~key_range:100 ~initial:50 ~update_pct:0 () in
+  let skew = { W.hot_keys = 10; hot_pct = 80 } in
+  let rng = Ascy_util.Xorshift.create 13 in
+  let hot = ref 0 and n = 200_000 in
+  for _ = 1 to n do
+    let k = W.pick_key_skewed wl skew rng in
+    if k < 1 || k > 100 then Alcotest.failf "key %d out of range" k;
+    if k <= 10 then incr hot
+  done;
+  let frac = float_of_int !hot /. float_of_int n in
+  (* sigma ~= 0.0009; the old leak sat at 0.82 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hot fraction %.4f is exactly 0.80" frac)
+    true
+    (frac > 0.79 && frac < 0.81);
+  (* degenerate case: everything hot falls back to uniform *)
+  let all_hot = W.pick_key_skewed wl { W.hot_keys = 200; hot_pct = 0 } rng in
+  Alcotest.(check bool) "degenerate stays in range" true (all_hot >= 1 && all_hot <= 100)
+
 let test_determinism () =
   let a = run ~latency:true "ll-lazy" and b = run ~latency:true "ll-lazy" in
   Alcotest.(check (float 0.0)) "same seed, same throughput" a.R.throughput_mops b.R.throughput_mops;
@@ -465,6 +519,8 @@ let test_results_golden_file () =
 let suite =
   [
     Alcotest.test_case "workload op mix" `Quick test_workload_mix;
+    Alcotest.test_case "workload insert/remove parity" `Quick test_pick_op_parity;
+    Alcotest.test_case "workload skew is exact" `Quick test_pick_key_skewed_exact;
     Alcotest.test_case "sim_run determinism" `Quick test_determinism;
     Alcotest.test_case "seed changes schedule" `Quick test_seed_changes_schedule;
     Alcotest.test_case "size stays near initial" `Quick test_size_stays_near_initial;

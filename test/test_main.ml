@@ -15,6 +15,7 @@ let () =
         ("fault", Test_fault.suite);
         ("analysis", Test_analysis.suite);
         ("models", Test_models.suite);
+        ("service", Test_service.suite);
         ("internals", Test_internals.suite);
       ]
   in

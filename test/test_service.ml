@@ -1,0 +1,292 @@
+(* Service-layer tests: shard routing, the crash-tolerant MPSC request
+   ring, and end-to-end scenario runs on the simulator — seeded
+   determinism of the structured results, key conservation across
+   rolling shard restarts, a linearizability spot-check of one shard
+   under the zipf flash crowd, and the golden-pinned
+   BENCH_service.json record schema. *)
+
+module J = Ascy_util.Json
+module H = Ascy_util.Histogram
+module Sim = Ascy_mem.Sim
+module Router = Ascy_service.Router
+module Scenario = Ascy_service.Scenario
+module Service_run = Ascy_service.Service_run
+module Service_native = Ascy_service.Service_native
+module Service_results = Ascy_service.Service_results
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_router_in_range () =
+  List.iter
+    (fun policy ->
+      for key = -50 to 5_000 do
+        let s = Router.route policy ~nshards:8 key in
+        if s < 0 || s >= 8 then
+          Alcotest.failf "%s routed key %d to shard %d" (Router.policy_name policy) key s;
+        Alcotest.(check int) "deterministic" s (Router.route policy ~nshards:8 key)
+      done)
+    [ Router.Mult; Router.Mod ]
+
+let test_router_covers_all_shards () =
+  List.iter
+    (fun policy ->
+      let hit = Array.make 8 0 in
+      for key = 1 to 1_000 do
+        let s = Router.route policy ~nshards:8 key in
+        hit.(s) <- hit.(s) + 1
+      done;
+      Array.iteri
+        (fun s n ->
+          if n = 0 then Alcotest.failf "%s leaves shard %d empty" (Router.policy_name policy) s)
+        hit)
+    [ Router.Mult; Router.Mod ]
+
+let test_router_names () =
+  List.iter
+    (fun p -> Alcotest.(check bool) "name roundtrip" true (Router.policy_of_name (Router.policy_name p) = p))
+    [ Router.Mult; Router.Mod ]
+
+(* ------------------------------------------------------------------ *)
+(* Shard queue (sequential semantics on native cells)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Q = Ascy_service.Shard_queue.Make (Ascy_mem.Mem_native)
+
+let test_queue_fifo () =
+  let q = Q.create ~cap:4 in
+  Alcotest.(check bool) "fresh queue empty" true (Q.is_empty q);
+  Alcotest.(check bool) "peek on empty" true (Q.peek q = None);
+  for v = 1 to 4 do
+    Alcotest.(check int) "no wait below cap" 0 (Q.enqueue q v)
+  done;
+  Alcotest.(check int) "backlog" 4 (Q.length q);
+  (* peek does not consume; commit does *)
+  Alcotest.(check bool) "peek head" true (Q.peek q = Some 1);
+  Alcotest.(check bool) "peek again" true (Q.peek q = Some 1);
+  Q.commit q;
+  Alcotest.(check bool) "next" true (Q.peek q = Some 2);
+  Q.commit q;
+  (* ring wraps: freed slots accept new tickets *)
+  ignore (Q.enqueue q 5);
+  ignore (Q.enqueue q 6);
+  let got = ref [] in
+  let rec drain () =
+    match Q.peek q with
+    | Some v ->
+        got := v :: !got;
+        Q.commit q;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo across wrap" [ 3; 4; 5; 6 ] (List.rev !got);
+  Alcotest.(check bool) "drained empty" true (Q.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end scenario runs (smoke scale)                              *)
+(* ------------------------------------------------------------------ *)
+
+let smoke name = Scenario.by_name Scenario.Smoke name
+
+(* Same seed -> byte-identical structured record (the sole wall-clock
+   field of a BENCH file lives at file level, not in the run record). *)
+let test_seeded_determinism () =
+  let once () =
+    J.to_string (Service_results.of_run ~label:"det" (Service_run.run ~seed:42 (smoke "flash-crowd")))
+  in
+  Alcotest.(check string) "same seed, same record" (once ()) (once ())
+
+let test_seed_matters () =
+  let once seed =
+    let r = Service_run.run ~seed (smoke "churn-heavy") in
+    r.Service_run.stats.Sim.makespan_cycles
+  in
+  Alcotest.(check bool) "different seeds, different makespan" true (once 1 <> once 2)
+
+(* Rolling restarts: every primary is crash-stopped, every standby takes
+   over, and the per-key conservation oracle (with its +-1 in-flight
+   slack) plus structural validation still pass. *)
+let test_rolling_restart_conserves () =
+  let sc = smoke "rolling-restart" in
+  let r = Service_run.run ~seed:3 sc in
+  Alcotest.(check (option string)) "conservation + validation" None r.Service_run.violation;
+  Alcotest.(check bool) "oracles ran" true r.Service_run.checked;
+  Alcotest.(check int) "every primary crashed" sc.Scenario.nshards
+    (List.length r.Service_run.crashed);
+  Alcotest.(check bool)
+    (Printf.sprintf "standbys took over (got %d)" r.Service_run.takeovers)
+    true
+    (r.Service_run.takeovers >= 1);
+  Alcotest.(check bool) "nothing lost (re-apply allowed)" true
+    (r.Service_run.ops_applied >= r.Service_run.ops_requested)
+
+let test_flash_crowd_shard0_linearizable () =
+  let r = Service_run.run ~seed:5 ~spotcheck:true (smoke "flash-crowd") in
+  Alcotest.(check (option string)) "oracle clean" None r.Service_run.violation;
+  Alcotest.(check bool) "shard-0 history checked and linearizable" true
+    (r.Service_run.linearizable = Some true)
+
+let test_pinned_skew_lands_on_shard0 () =
+  let r = Service_run.run ~seed:7 (smoke "shard-skew") in
+  let applied sid = r.Service_run.shard_stats.(sid).Service_run.ss_applied in
+  for sid = 1 to Array.length r.Service_run.shard_stats - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "shard 0 (%d) hotter than shard %d (%d)" (applied 0) sid (applied sid))
+      true
+      (applied 0 > applied sid)
+  done
+
+let test_counters_add_up () =
+  let r = Service_run.run ~seed:9 (smoke "read-mostly") in
+  Alcotest.(check int) "applied = requested without crashes" r.Service_run.ops_requested
+    r.Service_run.ops_applied;
+  let by_class =
+    Array.fold_left
+      (fun a (ss : Service_run.shard_stat) ->
+        a + ss.Service_run.ss_search_ok + ss.Service_run.ss_search_miss
+        + ss.Service_run.ss_insert_ok + ss.Service_run.ss_insert_fail
+        + ss.Service_run.ss_remove_ok + ss.Service_run.ss_remove_fail)
+      0 r.Service_run.shard_stats
+  in
+  Alcotest.(check int) "per-class counters partition applied" r.Service_run.ops_applied by_class;
+  Alcotest.(check int) "sojourn sampled per applied op" r.Service_run.ops_applied
+    (H.count r.Service_run.sojourn)
+
+let test_native_smoke () =
+  let sc = { (smoke "churn-heavy") with Scenario.sessions = 16; nclients = 2; nshards = 2 } in
+  let r = Service_native.run ~seed:11 sc in
+  Alcotest.(check (option string)) "native oracle clean" None r.Service_native.violation;
+  Alcotest.(check int) "all ops applied" (Scenario.total_ops sc) r.Service_native.ops_applied;
+  Alcotest.(check int) "per-shard sums to total" r.Service_native.ops_applied
+    (Array.fold_left ( + ) 0 r.Service_native.per_shard_applied)
+
+(* ------------------------------------------------------------------ *)
+(* Golden-pinned record schema                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fully deterministic synthetic result: golden stability must not
+   depend on simulator or algorithm internals.  MUST stay in sync with
+   [Gen_service_golden.synthetic_result] (regenerate with
+   `dune exec test/gen_service_golden.exe > test/service_golden.json`). *)
+let synthetic_result () : Service_run.result =
+  let hist vals =
+    let h = H.create () in
+    List.iter (H.add h) vals;
+    h
+  in
+  let shard sid =
+    {
+      Service_run.ss_sid = sid;
+      ss_applied = 50;
+      ss_search_ok = 20;
+      ss_search_miss = 15;
+      ss_insert_ok = 5;
+      ss_insert_fail = 3;
+      ss_remove_ok = 4;
+      ss_remove_fail = 3;
+      ss_batches = 10;
+      ss_max_batch = 8;
+      ss_takeovers = sid;
+      ss_throughput_mops = 0.5;
+      ss_sojourn = hist [ 100.0; 200.0; 300.0; 400.0 ];
+      ss_service = hist [ 10.0; 20.0 ];
+      ss_final_size = 40;
+    }
+  in
+  {
+    Service_run.scenario = { (Scenario.base Scenario.Smoke) with Scenario.name = "golden" };
+    algorithm = "golden-algo";
+    platform = "Xeon20";
+    nthreads = 6;
+    seed = 7;
+    model = "mesi";
+    ops_requested = 100;
+    ops_applied = 100;
+    seconds = 0.001;
+    throughput_mops = 0.1;
+    shard_stats = [| shard 0; shard 1 |];
+    sojourn = hist [ 100.0; 200.0; 300.0; 400.0; 100.0; 200.0; 300.0; 400.0 ];
+    service = hist [ 10.0; 20.0; 10.0; 20.0 ];
+    enq_waits = 12;
+    takeovers = 1;
+    crashed = [ 3 ];
+    faults = [ { Sim.fe_at = 500; fe_tid = 3; fe_fault = Sim.F_crash } ];
+    checked = true;
+    violation = None;
+    linearizable = Some true;
+    final_size = 80;
+    stats =
+      {
+        Sim.makespan_cycles = 2300;
+        seconds = 0.001;
+        accesses = 1000;
+        hits_l1 = 900;
+        hits_llc = 50;
+        transfers_local = 20;
+        transfers_remote = 10;
+        fetch_remote = 5;
+        misses_mem = 15;
+        atomics = 30;
+        stores = 120;
+        energy_j = 0.5;
+        power_w = 500.0;
+        events = Array.init Ascy_mem.Event.count (fun i -> i);
+      };
+  }
+
+let test_record_roundtrip () =
+  let j = Service_results.of_run ~label:"golden" (synthetic_result ()) in
+  let j' = J.of_string (J.to_string ~indent:1 j) in
+  Alcotest.(check bool) "serialized record parses back equal" true (j = j');
+  let get k = match J.member k j' with Some v -> v | None -> Alcotest.failf "missing %s" k in
+  Alcotest.(check (option string)) "kind" (Some "service") (J.to_string_opt (get "kind"));
+  Alcotest.(check (option int)) "takeovers" (Some 1) (J.to_int_opt (get "takeovers"));
+  let lat = get "latency_ns" in
+  let soj = match J.member "sojourn" lat with Some v -> v | None -> Alcotest.fail "no sojourn" in
+  Alcotest.(check (option int)) "sojourn count" (Some 8)
+    (Option.bind (J.member "count" soj) J.to_int_opt);
+  Alcotest.(check bool) "p999 present" true (J.member "p999" soj <> None);
+  match get "shards" with
+  | J.List [ s0; _ ] ->
+      Alcotest.(check (option int)) "shard sid" (Some 0) (Option.bind (J.member "sid" s0) J.to_int_opt)
+  | _ -> Alcotest.fail "shards is not a 2-list"
+
+(* The committed golden file pins schema v1: if serialization changes,
+   this fails and the change must be deliberate (regenerate with
+   `dune exec test/gen_service_golden.exe > test/service_golden.json`). *)
+let test_service_golden_file () =
+  (* dune runtest runs from _build/default/test; dune exec from the root *)
+  let golden =
+    if Sys.file_exists "service_golden.json" then "service_golden.json"
+    else "test/service_golden.json"
+  in
+  let ic = open_in golden in
+  let n = in_channel_length ic in
+  let want = really_input_string ic n in
+  close_in ic;
+  let got =
+    J.to_string ~indent:1 (Service_results.of_run ~label:"golden" (synthetic_result ())) ^ "\n"
+  in
+  Alcotest.(check string) "golden serialization" want got;
+  Alcotest.(check bool) "golden file parses" true
+    (match J.of_string (String.trim want) with J.Obj _ -> true | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "router: shards in range" `Quick test_router_in_range;
+    Alcotest.test_case "router: covers all shards" `Quick test_router_covers_all_shards;
+    Alcotest.test_case "router: policy names roundtrip" `Quick test_router_names;
+    Alcotest.test_case "queue: fifo peek/commit across wrap" `Quick test_queue_fifo;
+    Alcotest.test_case "run: seeded determinism" `Quick test_seeded_determinism;
+    Alcotest.test_case "run: seed changes schedule" `Quick test_seed_matters;
+    Alcotest.test_case "run: rolling restart conserves keys" `Quick test_rolling_restart_conserves;
+    Alcotest.test_case "run: flash-crowd shard 0 linearizable" `Quick
+      test_flash_crowd_shard0_linearizable;
+    Alcotest.test_case "run: pinned skew lands on shard 0" `Quick test_pinned_skew_lands_on_shard0;
+    Alcotest.test_case "run: counters partition applied ops" `Quick test_counters_add_up;
+    Alcotest.test_case "native: smoke run clean" `Quick test_native_smoke;
+    Alcotest.test_case "results: record roundtrip" `Quick test_record_roundtrip;
+    Alcotest.test_case "results: golden file" `Quick test_service_golden_file;
+  ]
