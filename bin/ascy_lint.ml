@@ -3,8 +3,9 @@
 
    Rule A — no raw concurrency primitives.  [Atomic.*], [Mutex.*],
    [Condition.*], [Domain.*], [Thread.*] and [Semaphore.*] are forbidden
-   everywhere under lib/ except the two files that exist precisely to
-   touch them: the native memory backend and the native harness runner.
+   everywhere under lib/ except the whitelisted files that exist
+   precisely to touch them (native backends, the simulator's
+   domain-local slot, the parallel exploration frontier).
    A raw atomic is invisible to the simulated interleaving engine, the
    per-op profiler and the race detector, so it silently corrupts every
    analysis built on the effect layer.
@@ -30,6 +31,13 @@ let rule_a_whitelist =
     "lib/mem/backend/mem_native.ml";
     "lib/harness/native_run.ml";
     "lib/service/service_native.ml";
+    (* the simulator's installed-simulation slot is domain-local
+       (Domain.DLS) so parallel exploration can drive one simulation per
+       domain; the parallel frontier itself spawns and coordinates those
+       domains.  Neither is CSDS code — both sit under the effect
+       layer, not on top of it. *)
+    "lib/mem/core/sim.ml";
+    "lib/sct/par_explore.ml";
   ]
 
 let rule_b_dirs =

@@ -361,19 +361,22 @@ let classify ?(watchdog = 2_000) ?(max_candidates = 48) ?(stall = 500) ?model
 (* Exploring fault points × schedules                                  *)
 (* ------------------------------------------------------------------ *)
 
-(** Product exploration: for each candidate crash decision, bounded-DFS
-    the schedule space with that crash injected — the SCT explorer
-    placing interleavings {e and} the fault systematically.  The oracle
-    is the progress watchdog.  Returns the first (plan, finding) that
-    wedges, with the finding's schedule replayable alongside the plan. *)
+(** Product exploration: for each candidate crash decision, explore the
+    schedule space with that crash injected — the SCT explorer placing
+    interleavings {e and} the fault systematically.  The oracle is the
+    progress watchdog.  Returns the first (plan, finding) that wedges,
+    with the finding's schedule replayable alongside the plan.
+    [policy]/[domains] select the exploration policy and worker domains
+    exactly as in {!Sct_run.explore} (default: sequential exhaustive
+    DFS, byte-identical to the historical behavior). *)
 let explore_crash ?mode ?(bounds = Explorer.default_bounds) ?(watchdog = 1_000)
-    ?(max_candidates = 8) ?model ~victim (spec : spec) =
+    ?(max_candidates = 8) ?model ?policy ?domains ~victim (spec : spec) =
   let cands = crash_candidates ~max_candidates ?model ~victim spec in
   List.find_map
     (fun d ->
       let faults = [ { Sim.fe_at = d; fe_tid = victim; fe_fault = Sim.F_crash } ] in
       let run ~sched = (run_spec ~sched ~watchdog ~check:false ?model ~faults spec).violation in
-      let report = Explorer.explore ?mode ~bounds ~run () in
+      let report = Ascy_sct.Par_explore.dispatch ?mode ~bounds ?policy ?domains ~run () in
       match report.Explorer.failure with Some f -> Some (faults, f) | None -> None)
     cands
 

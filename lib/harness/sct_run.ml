@@ -195,18 +195,26 @@ type finding = {
   min_violation : string;  (** oracle description under the minimized prefix *)
 }
 
-(** [explore ?mode ?bounds ?races ?model spec] systematically explores
-    the spec's schedule space ([~races:true] additionally runs the
-    happens-before race detector over every schedule).  On failure the
-    counterexample is minimized; the report carries exploration
-    statistics either way.  [model] selects the coherence model for
-    every run (controlled schedules make verdicts, schedule counts and
-    minimized counterexamples model-invariant; [flat] explores the same
-    space faster). *)
-let explore ?mode ?(bounds = Explorer.default_bounds) ?races ?model spec =
+(** [explore ?mode ?bounds ?races ?model ?policy ?domains spec]
+    systematically explores the spec's schedule space ([~races:true]
+    additionally runs the happens-before race detector over every
+    schedule).  On failure the counterexample is minimized; the report
+    carries exploration statistics either way.  [model] selects the
+    coherence model for every run (controlled schedules make verdicts,
+    schedule counts and minimized counterexamples model-invariant;
+    [flat] explores the same space faster).
+
+    [policy] picks the exploration policy ({!Ascy_sct.Explorer.policy}:
+    exhaustive DFS, uniform random, PCT, swarm) and [domains] how many
+    worker domains partition the work ({!Ascy_sct.Par_explore}).  The
+    default — exhaustive, one domain — is the byte-identical historical
+    path.  Findings from every policy and domain count flow through the
+    same minimize/replay pipeline, and for a fixed policy seed the
+    finding is domain-count invariant. *)
+let explore ?mode ?(bounds = Explorer.default_bounds) ?races ?model ?policy ?domains spec =
   let maker = (Ascylib.Registry.by_name spec.name).Ascylib.Registry.maker in
   let report =
-    Explorer.explore ?mode ~bounds
+    Ascy_sct.Par_explore.dispatch ?mode ~bounds ?policy ?domains
       ~run:(fun ~sched -> run_once ?races ?model maker spec ~sched)
       ()
   in
@@ -224,6 +232,25 @@ let explore ?mode ?(bounds = Explorer.default_bounds) ?races ?model spec =
         Some { violation = f.Explorer.f_desc; schedule = f.Explorer.f_schedule; minimized; min_violation }
   in
   (finding, report)
+
+(** Structured summary of one exploration, for SCT/EXPLORE JSON rows.
+    Carries the [incomplete] flag: {!Ascy_sct.Explorer} always computed
+    completeness (a [max_schedules]-exhausted DFS is {e not} a proof of
+    absence, and a randomized policy never proves anything), but
+    summaries used to drop it — a clean verdict and an
+    out-of-budget verdict printed identically. *)
+let report_json ?(policy = Explorer.Exhaustive) ?(domains = 1) ?violation
+    (report : Explorer.report) =
+  J.Obj
+    [
+      ("policy", J.String (Explorer.policy_name policy));
+      ("domains", J.Int domains);
+      ("schedules", J.Int report.Explorer.schedules);
+      ("steps", J.Int report.Explorer.steps);
+      ("complete", J.Bool report.Explorer.complete);
+      ("incomplete", J.Bool (not report.Explorer.complete));
+      ("violation", match violation with Some v -> J.String v | None -> J.Null);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)

@@ -274,9 +274,15 @@ let model sim = sim.coh_spec
 (** Name of the coherence model [sim] was created with. *)
 let model_name sim = model_name_of sim.coh_spec
 
-(* The simulation the calling (real) thread is currently driving.  The
-   simulator is single-OS-threaded, so one slot suffices. *)
-let current : t option ref = ref None
+(* The simulation the calling domain is currently driving.  The
+   simulator is single-threaded *per domain*: one domain-local slot
+   (Domain.DLS) lets the parallel explorer ([Ascy_sct.Par_explore])
+   re-execute independent schedule prefixes on separate domains, each
+   driving its own installed simulation, while a single-domain process
+   behaves exactly as with the historical global slot. *)
+let current_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get current_key
 
 let new_line_id sim =
   let id = sim.nlines in
@@ -357,10 +363,10 @@ let txn_access sim (tx : txn_state) kind line =
   let base = C.txn_line_cost cm ~core:th.core line in
   tx.t_cost <- tx.t_cost + base + sim.plat.P.c_instr
 
-let running () = match !current with Some sim -> sim.cur >= 0 | None -> false
+let running () = match !(current ()) with Some sim -> sim.cur >= 0 | None -> false
 
 let the_sim () =
-  match !current with
+  match !(current ()) with
   | Some sim -> sim
   | None -> failwith "Sim: no simulation installed (use Sim.with_sim)"
 
@@ -372,7 +378,7 @@ let set_observer sim obs = sim.observer <- obs
    effect returned, i.e. after the access was committed and charged, on
    the same (still-running) simulated thread. *)
 let notify_rmw ok =
-  match !current with
+  match !(current ()) with
   | Some sim when sim.cur >= 0 && sim.txn = None -> (
       match sim.observer with Some o -> o.obs_rmw sim.cur ok | None -> ())
   | _ -> ()
@@ -390,14 +396,14 @@ module Mem : Memory.S with type line = int = struct
   (* Route an access: inside a transaction it is buffered/accounted by
      txn_access; otherwise it is an effect handled by the scheduler. *)
   let access kind line =
-    match !current with
+    match !(current ()) with
     | Some sim when sim.cur >= 0 -> (
         match sim.txn with
         | Some tx -> txn_access sim tx kind line
         | None -> Effect.perform (Access (kind, line)))
     | _ -> ()
 
-  let in_txn () = match !current with Some sim -> sim.txn | None -> None
+  let in_txn () = match !(current ()) with Some sim -> sim.txn | None -> None
 
   let log_undo r =
     match in_txn () with
@@ -445,7 +451,7 @@ module Mem : Memory.S with type line = int = struct
   let touch line = access Read line
 
   let work n =
-    match !current with
+    match !(current ()) with
     | Some sim when sim.cur >= 0 -> (
         match sim.txn with
         | Some tx -> tx.t_cost <- tx.t_cost + n
@@ -468,7 +474,7 @@ module Mem : Memory.S with type line = int = struct
     end
 
   let txn f =
-    match !current with
+    match !(current ()) with
     | Some sim when sim.cur >= 0 && sim.txn = None ->
         let tx =
           { t_cost = sim.plat.P.c_atomic; t_undo = []; t_lines = []; t_written = []; t_nlines = 0 }
@@ -575,9 +581,9 @@ exception Thread_failure of int * exn * string
     bit-for-bit as before. *)
 let run ?scheduler ?(faults = []) sim bodies =
   if Array.length bodies <> sim.nthreads then invalid_arg "Sim.run: wrong number of bodies";
-  (match !current with
+  (match !(current ()) with
   | Some s when s != sim -> failwith "Sim.run: a different simulation is installed"
-  | _ -> current := Some sim);
+  | _ -> current () := Some sim);
   Array.iter
     (fun th ->
       th.clock <- 0;
@@ -844,9 +850,9 @@ let warm sim =
     through {!Mem} and then calls {!run}), and uninstalls it. *)
 let with_sim ?seed ?jitter ?trace_capacity ?model ~platform ~nthreads f =
   let sim = create ?seed ?jitter ?trace_capacity ?model ~platform ~nthreads () in
-  let saved = !current in
-  current := Some sim;
-  Fun.protect ~finally:(fun () -> current := saved) (fun () -> f sim)
+  let saved = !(current ()) in
+  current () := Some sim;
+  Fun.protect ~finally:(fun () -> current () := saved) (fun () -> f sim)
 
 (** Current clock (cycles) of the executing simulated thread. *)
 let now () =
@@ -878,7 +884,7 @@ module Trace = struct
   (* Marks are no-ops unless a traced simulation is installed and a
      simulated thread is executing. *)
   let mark ev =
-    match !current with
+    match !(current ()) with
     | Some sim when sim.tracing && sim.cur >= 0 ->
         trace_push sim sim.cur sim.threads.(sim.cur).clock ev
     | _ -> ()
@@ -886,7 +892,7 @@ module Trace = struct
   (* Op brackets also notify the installed observer, whether or not the
      rings are on: profiling must not require (or pay for) full traces. *)
   let notify_op f code =
-    match !current with
+    match !(current ()) with
     | Some sim when sim.cur >= 0 -> (
         match sim.observer with Some o -> f o sim.cur code | None -> ())
     | _ -> ()

@@ -111,9 +111,41 @@ let dummy_node =
 (** [explore ?mode ?bounds ~run ()] — [run ~sched] must execute the
     program under test from scratch inside a fresh simulation driven by
     [sched], then evaluate its oracle: [None] for a passing run, [Some
-    desc] for a violation.  Exploration stops at the first failure. *)
-let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
+    desc] for a violation.  Exploration stops at the first failure.
+
+    The remaining optionals turn one call into a {e task} of a
+    partitioned exploration (see {!Par_explore}); all default to the
+    historical whole-space behavior, byte-identically:
+    - [prefix] pins the first decisions: the task owns the subtree under
+      that prefix and never backtracks above it;
+    - [window] bounds how deep below the prefix this task branches
+      locally.  Backtrack points above the prefix or beyond the window
+      are handed to [on_defer] as fully-forced prefixes (one new task
+      each, deduplicated within this task) instead of being explored
+      here;
+    - [stop] is polled between runs: when it turns true the task
+      abandons the rest of its subtree and reports incomplete (used to
+      cancel siblings once any task has found a failure). *)
+let explore ?(mode = Dpor) ?(bounds = default_bounds) ?(prefix = [||]) ?window ?on_defer
+    ?stop ~run () =
   let stack = Vec.create ~capacity:256 dummy_node in
+  let plen = Array.length prefix in
+  let wlimit = match window with Some w -> plen + w | None -> max_int in
+  let deferred = Hashtbl.create 16 in
+  (* Hand [stack.(0..j-1); p] to the coordinator as a new task's prefix.
+     Dedup by content: distinct runs of this task rediscover the same
+     out-of-window backtrack points. *)
+  let defer j p =
+    match on_defer with
+    | None -> ()
+    | Some emit ->
+        let pfx = Array.init (j + 1) (fun i -> if i = j then p else (Vec.get stack i).chosen) in
+        let key = String.concat "," (Array.to_list (Array.map string_of_int pfx)) in
+        if not (Hashtbl.mem deferred key) then begin
+          Hashtbl.add deferred key ();
+          emit pfx
+        end
+  in
   let nsched = ref 0 in
   let nsteps = ref 0 in
   let failure = ref None in
@@ -140,7 +172,9 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
       let tid =
         if d < Vec.length stack then (Vec.get stack d).chosen
         else begin
-          let chosen = Scheduler.default_choice st runnable in
+          let chosen =
+            if d < plen then prefix.(d) else Scheduler.default_choice st runnable
+          in
           let parent = if d = 0 then None else Some (Vec.get stack (d - 1)) in
           let cost f =
             match parent with
@@ -168,14 +202,15 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
             }
           in
           (match mode with
-          | Naive ->
+          | Naive when d >= plen ->
               let todo = ref [] in
               for i = Sim.runnable_count runnable - 1 downto 0 do
                 let t = Sim.runnable_tid runnable i in
-                if t <> chosen && in_bounds node t then todo := t :: !todo
+                if t <> chosen && in_bounds node t then
+                  if d >= wlimit then defer d t else todo := t :: !todo
               done;
               node.todo <- !todo
-          | Dpor -> ());
+          | Naive | Dpor -> ());
           Vec.push stack node;
           chosen
         end
@@ -216,10 +251,12 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
                      if
                        p <> nj.chosen
                        && Scheduler.index_of p nj.runnable >= 0
-                       && (not (List.mem p nj.explored))
-                       && (not (List.mem p nj.todo))
                        && in_bounds nj p
-                     then nj.todo <- p :: nj.todo
+                     then
+                       if j < plen || j >= wlimit then defer j p
+                       else if
+                         (not (List.mem p nj.explored)) && not (List.mem p nj.todo)
+                       then nj.todo <- p :: nj.todo
                  | None -> ())
              | _ -> ()
            done
@@ -229,10 +266,15 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
             complete := false;
             finished := true
         | _ -> ());
+        (match stop with
+        | Some cancelled when cancelled () ->
+            complete := false;
+            finished := true
+        | _ -> ());
         (* ---- backtrack: deepest node with a live alternative ---- *)
         if not !finished then begin
           let rec backtrack d =
-            if d < 0 then None
+            if d < plen then None
             else begin
               let nd = Vec.get stack d in
               nd.explored <- nd.chosen :: nd.explored;
@@ -259,3 +301,194 @@ let explore ?(mode = Dpor) ?(bounds = default_bounds) ~run () =
         end))
   done;
   { failure = !failure; schedules = !nsched; steps = !nsteps; complete = !complete }
+
+(* ------------------------------------------------------------------ *)
+(* Exploration policies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** How schedules are chosen.  [Exhaustive] is the DFS above (DPOR or
+    naive, per [?mode]) — it proves a bounded space clean.  The
+    randomized policies trade that proof for volume: each draws
+    [schedules] schedules from a seeded distribution, so coverage per
+    wall-clock second scales with budget (and, through {!Par_explore},
+    with domain count) on spaces far too large to close.
+
+    Every randomized schedule is recorded in full, so counterexamples
+    flow through the same minimize/replay pipeline as exhaustive ones.
+    Determinism contract: the outcome of schedule index [i] is a
+    function of the policy's seed and [i] alone — per-index RNG streams
+    are derived with {!Ascy_util.Xorshift.split} in a fixed chunked
+    order — so verdicts and counterexamples are identical no matter how
+    many domains execute the budget, and a multi-index failure always
+    reports the {e lowest} failing index. *)
+type policy =
+  | Exhaustive
+  | Random of { seed : int; schedules : int }
+      (** uniform choice among non-spinning runnable threads *)
+  | Pct of { seed : int; depth : int; schedules : int }
+      (** priority-based with [depth - 1] change points
+          ({!Scheduler.pct_chooser}); finds bugs of depth [depth] with
+          probability >= 1/(n·k^(depth-1)) per schedule *)
+  | Swarm of { seeds : int list; schedules : int }
+      (** [schedules] sticky-random schedules per seed, each seed with
+          its own temperament ({!Scheduler.sticky_chooser}) *)
+
+let policy_name = function
+  | Exhaustive -> "exhaustive"
+  | Random _ -> "random"
+  | Pct _ -> "pct"
+  | Swarm _ -> "swarm"
+
+(** Schedule indices are planned in fixed chunks of this size; each
+    chunk is one unit of parallel work.  Part of the determinism
+    contract — chunk [c]'s RNG stream is the [c]-th split of the
+    policy seed's master generator, whoever executes it. *)
+let chunk_size = 32
+
+type rand_kind =
+  | R_uniform
+  | R_pct of { depth : int; length : int }
+  | R_sticky of float
+
+type rand_task = {
+  rt_base : int;  (** global index of the chunk's first schedule *)
+  rt_count : int;
+  rt_stream : Ascy_util.Xorshift.t;  (** chunk stream; one split per index *)
+  rt_kind : rand_kind;
+}
+
+(* Swarm temperaments: each seed draws its continue-probability from
+   this palette, spanning churn-heavy to quasi-sequential. *)
+let swarm_palette = [| 0.0; 0.3; 0.6; 0.9 |]
+
+(** The full, deterministic chunk plan of a randomized policy.
+    [probe_len] is the default-policy run length (PCT's [k] estimate,
+    from {!probe_run}). *)
+let rand_plan ~policy ~probe_len =
+  let chunks ~base ~total ~master ~kind =
+    let rec go start acc =
+      if start >= total then List.rev acc
+      else begin
+        let count = min chunk_size (total - start) in
+        let stream = Ascy_util.Xorshift.split master in
+        go (start + count)
+          ({ rt_base = base + start; rt_count = count; rt_stream = stream; rt_kind = kind }
+          :: acc)
+      end
+    in
+    go 0 []
+  in
+  match policy with
+  | Exhaustive -> invalid_arg "Explorer.rand_plan: Exhaustive has no random plan"
+  | Random { seed; schedules } ->
+      chunks ~base:0 ~total:schedules ~master:(Ascy_util.Xorshift.create seed) ~kind:R_uniform
+  | Pct { seed; depth; schedules } ->
+      chunks ~base:0 ~total:schedules
+        ~master:(Ascy_util.Xorshift.create seed)
+        ~kind:(R_pct { depth; length = probe_len })
+  | Swarm { seeds; schedules } ->
+      List.concat
+        (List.mapi
+           (fun si seed ->
+             let master = Ascy_util.Xorshift.create seed in
+             let p =
+               swarm_palette.(Ascy_util.Xorshift.below master (Array.length swarm_palette))
+             in
+             chunks ~base:(si * schedules) ~total:schedules ~master ~kind:(R_sticky p))
+           seeds)
+
+(* One recorded run under [chooser]: the failure description (if any),
+   the full decision sequence, and the step count. *)
+let controlled_run ~bounds ~chooser ~run =
+  let trace = Vec.create ~capacity:256 0 in
+  let sched runnable =
+    let d = Vec.length trace in
+    if d >= bounds.max_steps then raise (Step_limit d);
+    let tid = chooser runnable in
+    Vec.push trace tid;
+    tid
+  in
+  let desc =
+    try run ~sched
+    with Step_limit d ->
+      Some (Printf.sprintf "step limit %d exceeded (possible livelock or starvation)" d)
+  in
+  (desc, Vec.to_array trace, Vec.length trace)
+
+(** One run under the default policy: the randomized planner's
+    run-length estimate, and a free verdict on the default schedule
+    (counted as schedule index "probe", before index 0). *)
+let probe_run ~bounds ~run =
+  controlled_run ~bounds ~chooser:(Scheduler.prefix_scheduler ~prefix:[||] ()) ~run
+
+type rand_result = {
+  rr_failure : (int * failure) option;
+      (** lowest failing schedule index within the chunk, with its run *)
+  rr_schedules : int;
+  rr_steps : int;
+}
+
+(** Execute one chunk.  Index [rt_base + i] runs under a chooser built
+    from the [i]-th split of the chunk stream, so each index's outcome
+    is independent of every other index and of who executes the chunk.
+    Indices run in ascending order and the chunk stops at its first
+    failure; [skip_from] prunes indices already beaten by a lower
+    failing index found elsewhere. *)
+let exec_rand_task ?(skip_from = fun () -> max_int) ~bounds ~run task =
+  let failure = ref None in
+  let nsched = ref 0 and nsteps = ref 0 in
+  (try
+     for i = 0 to task.rt_count - 1 do
+       let rng = Ascy_util.Xorshift.split task.rt_stream in
+       let idx = task.rt_base + i in
+       if idx >= skip_from () then raise Exit;
+       let chooser =
+         match task.rt_kind with
+         | R_uniform -> Scheduler.uniform_chooser rng
+         | R_pct { depth; length } -> Scheduler.pct_chooser rng ~depth ~length
+         | R_sticky p -> Scheduler.sticky_chooser rng ~p_continue:p
+       in
+       let desc, sched, steps = controlled_run ~bounds ~chooser ~run in
+       incr nsched;
+       nsteps := !nsteps + steps;
+       match desc with
+       | Some d ->
+           failure := Some (idx, { f_desc = d; f_schedule = sched });
+           raise Exit
+       | None -> ()
+     done
+   with Exit -> ());
+  { rr_failure = !failure; rr_schedules = !nsched; rr_steps = !nsteps }
+
+(** [explore_policy ?mode ?bounds ~policy ~run ()] — the sequential
+    policy driver: [Exhaustive] delegates to {!explore}; a randomized
+    policy runs one default-policy probe and then the planned indices
+    in ascending order, stopping at the first failure.  Randomized
+    exploration never proves a space exhausted, so its report is always
+    marked incomplete. *)
+let explore_policy ?(mode = Dpor) ?(bounds = default_bounds) ~policy ~run () =
+  match policy with
+  | Exhaustive -> explore ~mode ~bounds ~run ()
+  | _ -> (
+      let probe_desc, probe_sched, probe_steps = probe_run ~bounds ~run in
+      match probe_desc with
+      | Some d ->
+          {
+            failure = Some { f_desc = d; f_schedule = probe_sched };
+            schedules = 1;
+            steps = probe_steps;
+            complete = false;
+          }
+      | None ->
+          let failure = ref None in
+          let nsched = ref 1 and nsteps = ref probe_steps in
+          List.iter
+            (fun task ->
+              if !failure = None then begin
+                let r = exec_rand_task ~bounds ~run task in
+                nsched := !nsched + r.rr_schedules;
+                nsteps := !nsteps + r.rr_steps;
+                match r.rr_failure with Some (_, f) -> failure := Some f | None -> ()
+              end)
+            (rand_plan ~policy ~probe_len:probe_steps);
+          { failure = !failure; schedules = !nsched; steps = !nsteps; complete = false })

@@ -102,6 +102,222 @@ let delay_cost st runnable tid =
   go 0 (candidate_order st runnable)
 
 (* ------------------------------------------------------------------ *)
+(* Randomized choosers (uniform / sticky / PCT)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Online spin detection, the scheduling-time analogue of
+   {!Dpor.stutter_flags}: a thread whose next action re-reads a line it
+   already read, unchanged since, is spinning and cannot make progress
+   by being scheduled.  Randomized policies need this because, unlike
+   the slice-rotating default policy, they are not inherently fair: a
+   uniform or priority-driven chooser happily feeds a spin loop forever
+   while the lock holder starves, turning every lock-based algorithm
+   into a bogus step-limit "livelock".  Demoting spinners (preferring
+   threads whose next step can change state) restores the fairness the
+   step-limit oracle assumes, without forbidding any genuinely
+   interesting interleaving: scheduling a stutter read commutes with
+   everything. *)
+module Spin = struct
+  type t = {
+    versions : (int, int) Hashtbl.t;  (* line -> write serial *)
+    last_read : (int, int * int * int) Hashtbl.t;
+        (* tid -> (line, version seen, consecutive reads of it) *)
+  }
+
+  let create () = { versions = Hashtbl.create 64; last_read = Hashtbl.create 8 }
+
+  let version t line = try Hashtbl.find t.versions line with Not_found -> 0
+
+  (* A thread counts as spinning only once it has *performed* two
+     consecutive reads of the same unchanged line and is about to issue
+     a third: algorithms legitimately read a location twice in a row
+     (validate-then-use), and demoting on the first repeat starves such
+     a thread forever if everyone else is parked on a line it guards.
+     Backoff/work steps between the reads do not reset the count — a
+     TTAS waiter alternates read and backoff, and it is exactly the
+     thread this detector exists to demote. *)
+  let spin_threshold = 2
+
+  (** Would resuming [tid], whose lookahead action is [act], merely
+      re-read an unchanged line it has already re-read? *)
+  let stutters t tid act =
+    match act with
+    | Sim.A_access (Sim.Read, line) -> (
+        match Hashtbl.find_opt t.last_read tid with
+        | Some (l, v, n) -> l = line && v = version t line && n >= spin_threshold
+        | None -> false)
+    | _ -> false
+
+  (** Record the committed choice: [tid] was resumed to perform [act]. *)
+  let note t tid act =
+    match act with
+    | Sim.A_access (Sim.Read, line) ->
+        let v = version t line in
+        let n =
+          match Hashtbl.find_opt t.last_read tid with
+          | Some (l, v', n) when l = line && v' = v -> n + 1
+          | _ -> 1
+        in
+        Hashtbl.replace t.last_read tid (line, v, n)
+    | Sim.A_access ((Sim.Write | Sim.Rmw), line) ->
+        Hashtbl.replace t.versions line (version t line + 1);
+        Hashtbl.remove t.last_read tid
+    | _ -> ()  (* work/backoff steps keep the read streak alive *)
+end
+
+(* Indices of runnable threads whose next step is not a spin-stutter;
+   all of them when everyone spins (a genuine livelock — any choice is
+   as good as any other and the step limit will trip). *)
+let live_indices spin (runnable : Sim.runnable) =
+  let n = Sim.runnable_count runnable in
+  let live = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Spin.stutters spin (Sim.runnable_tid runnable i) (Sim.runnable_action runnable i))
+    then live := i :: !live
+  done;
+  match !live with [] -> List.init n Fun.id | l -> l
+
+(** [uniform_chooser rng] picks uniformly among the non-spinning
+    runnable threads at every decision.  Deterministic per [rng]
+    stream. *)
+let uniform_chooser rng : Sim.scheduler =
+  let spin = Spin.create () in
+  fun runnable ->
+    let cands = live_indices spin runnable in
+    let i = List.nth cands (Ascy_util.Xorshift.below rng (List.length cands)) in
+    let tid = Sim.runnable_tid runnable i in
+    Spin.note spin tid (Sim.runnable_action runnable i);
+    tid
+
+(** [sticky_chooser rng ~p_continue] continues the previous thread with
+    probability [p_continue] (when it is runnable and not spinning) and
+    otherwise picks uniformly among the other non-spinning threads —
+    one point in the swarm's temperament space: high [p_continue]
+    yields long quasi-sequential runs, low values yield churn. *)
+let sticky_chooser rng ~p_continue : Sim.scheduler =
+  let spin = Spin.create () in
+  let st = fresh_state () in
+  fun runnable ->
+    let cands = live_indices spin runnable in
+    let prev_live =
+      st.prev >= 0
+      && List.exists (fun i -> Sim.runnable_tid runnable i = st.prev) cands
+    in
+    let i =
+      if prev_live && Ascy_util.Xorshift.bool rng p_continue then
+        index_of st.prev runnable
+      else begin
+        let others =
+          if not prev_live then cands
+          else
+            match List.filter (fun i -> Sim.runnable_tid runnable i <> st.prev) cands with
+            | [] -> cands
+            | l -> l
+        in
+        List.nth others (Ascy_util.Xorshift.below rng (List.length others))
+      end
+    in
+    let tid = Sim.runnable_tid runnable i in
+    Spin.note spin tid (Sim.runnable_action runnable i);
+    note st tid;
+    tid
+
+(** [pct_chooser rng ~depth ~length] — probabilistic concurrency
+    testing (Burckhardt et al., ASPLOS'10).  Each thread gets a random
+    distinct initial priority; the scheduler always runs the
+    highest-priority non-spinning runnable thread; at [depth - 1]
+    change points drawn uniformly over the estimated run length, the
+    currently-running thread's priority drops below everyone's.  A bug
+    whose manifestation needs [depth] ordering constraints is found
+    with probability >= 1/(n·k^(d-1)) per schedule — [length] is the
+    [k] estimate, from a probe run under the default policy.
+
+    Deviations from the default candidate order are exactly what the
+    explorer's delay/preemption accounting prices; PCT spends that
+    budget through its own coin (the [depth - 1] change points plus
+    priority inversions), so {!Explorer} does not additionally bound
+    PCT runs.
+
+    Strict priorities need one liveness backstop beyond {!Spin}: spin
+    demotion only catches read-only wait loops, not {e effect-ful}
+    spins — a lock/validate/unlock retry or a failed-CAS loop writes on
+    every iteration and is indistinguishable from progress to any local
+    detector, so the top-priority thread can monopolize the scheduler
+    until the step-limit oracle reports a bogus livelock (observed on
+    sl-herlihy's marked-node retry and bst-tk's version-lock retry).
+    The backstop is priority aging: a thread given [stall_limit]
+    consecutive decisions while others are runnable drops below every
+    other priority — an off-budget change point, as in fair-PCT
+    implementations.  Legit monopolies (a thread running its whole
+    script undisturbed) are an order of magnitude shorter in these
+    specs, and a true global livelock still trips the step limit:
+    rotation by itself creates no progress. *)
+let stall_limit = 1_000
+
+let pct_chooser rng ~depth ~length : Sim.scheduler =
+  let spin = Spin.create () in
+  let prio : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let inited = ref false in
+  let change =
+    let k = max 1 length in
+    let a = Array.init (max 0 (depth - 1)) (fun _ -> 1 + Ascy_util.Xorshift.below rng k) in
+    Array.sort compare a;
+    a
+  in
+  let nchange = Array.length change in
+  let applied = ref 0 in
+  let last = ref (-1) in
+  let step = ref 0 in
+  (* priority aging: [floor] sits below every initial priority and
+     every change-point value, and drops once per forced demotion so
+     successive monopolists keep rotating; [mono] counts consecutive
+     decisions given to [last] *)
+  let floor = ref (depth - nchange) in
+  let mono = ref 0 in
+  fun runnable ->
+    incr step;
+    if not !inited then begin
+      (* random distinct priorities in [depth, depth + n): all above the
+         values change points assign, so a demoted thread stays demoted *)
+      inited := true;
+      let n = Sim.runnable_count runnable in
+      let perm = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Ascy_util.Xorshift.below rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      for i = 0 to n - 1 do
+        Hashtbl.replace prio (Sim.runnable_tid runnable i) (depth + perm.(i))
+      done
+    end;
+    while !applied < nchange && change.(!applied) <= !step do
+      (* change point: the running thread falls below every initial
+         priority, and below all earlier change points' assignments *)
+      if !last >= 0 then Hashtbl.replace prio !last (depth - 1 - !applied);
+      incr applied
+    done;
+    if !mono >= stall_limit && Sim.runnable_count runnable > 1 && !last >= 0 then begin
+      floor := !floor - 1;
+      Hashtbl.replace prio !last !floor;
+      mono := 0
+    end;
+    let cands = live_indices spin runnable in
+    let pr i = try Hashtbl.find prio (Sim.runnable_tid runnable i) with Not_found -> -1 in
+    let best =
+      List.fold_left
+        (fun best i -> match best with Some b when pr b >= pr i -> best | _ -> Some i)
+        None cands
+    in
+    let i = Option.get best in
+    let tid = Sim.runnable_tid runnable i in
+    Spin.note spin tid (Sim.runnable_action runnable i);
+    if tid = !last then incr mono else mono := 1;
+    last := tid;
+    tid
+
+(* ------------------------------------------------------------------ *)
 (* Prefix schedulers                                                   *)
 (* ------------------------------------------------------------------ *)
 

@@ -64,3 +64,42 @@ let float t = float_of_int (next t) /. (float_of_int max_int +. 1.)
 
 (** [bool t p] is [true] with probability [p]. *)
 let bool t p = float t < p
+
+(** [copy t] is an independent generator starting from [t]'s current
+    state: both produce the same stream from here, and advancing one
+    never affects the other. *)
+let copy t = { s0 = t.s0; s1 = t.s1 }
+
+(** [split t] derives a child generator from one draw of [t] (advancing
+    [t] by exactly one step).  The child is re-seeded through the same
+    SplitMix64 spread as {!create}, so consecutive children of one
+    parent — and the parent's own continuation — are statistically
+    unrelated streams.  Splitting a master generator [k] times is the
+    deterministic way to hand [k] workers independent streams: child [i]
+    depends only on the seed and [i], never on who consumes it. *)
+let split t = create (Int64.to_int (next_int64 t) land max_int)
+
+(* The xorshift128+ jump polynomial (Vigna): xor together the states
+   reached at the 1-bits of these two words while stepping the
+   generator 128 times. *)
+let jump_coeffs = [| 0x8a5cd789635d2dffL; 0x121fd2155c472f96L |]
+
+(** [jump t] advances [t] by 2{^64} steps of {!next_int64} in O(128)
+    work, in place.  Jumping a copy [k] times yields [k]
+    non-overlapping subsequences of one seed's stream — the classic
+    alternative to {!split} when overlap-freedom must be guaranteed
+    rather than statistical. *)
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L in
+  Array.iter
+    (fun coeff ->
+      for b = 0 to 63 do
+        if Int64.logand coeff (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1
+        end;
+        ignore (next_int64 t)
+      done)
+    jump_coeffs;
+  t.s0 <- !s0;
+  t.s1 <- !s1

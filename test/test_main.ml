@@ -12,6 +12,7 @@ let () =
         ("harness", Test_harness.suite);
         ("history", Test_history.suite);
         ("sct", Test_sct.suite);
+        ("explore", Test_explore.suite);
         ("fault", Test_fault.suite);
         ("analysis", Test_analysis.suite);
         ("models", Test_models.suite);

@@ -136,6 +136,153 @@ let test_schedule_file_roundtrip () =
       Alcotest.(check bool) "meta round-trips" true
         (List.assoc_opt "algorithm" meta' = Some (Ascy_util.Json.String "ll-lazy")))
 
+(* ------------------------------------------------------------------ *)
+(* Cross-policy conformance                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The 3-thread adversarial workload of examples/schedule_fuzz — the
+   spec behind the ll-lazy "2099 schedules" exhaustive pin. *)
+let fuzz name =
+  Sct.mk_spec ~name ~initial:[ 2 ]
+    ~script:
+      [|
+        [| (Sct.Insert, 1); (Sct.Remove, 2); (Sct.Insert, 3) |];
+        [| (Sct.Insert, 1); (Sct.Insert, 2); (Sct.Remove, 3) |];
+        [| (Sct.Remove, 1); (Sct.Insert, 2) |];
+      |]
+    ()
+
+(* Every randomized policy must find the known seq-list violation,
+   push it through the same minimize/serialize pipeline, and replay it
+   bit-for-bit — replay runs under the prefix scheduler, i.e. the
+   exhaustive path's machinery, so this also checks that a randomized
+   finding is an ordinary counterexample to the rest of the engine. *)
+let policy_conformance policy () =
+  let spec = duel "ll-async" in
+  let finding, report = Sct.explore ~mode:Explorer.Dpor ~policy spec in
+  match finding with
+  | None ->
+      Alcotest.fail
+        (Explorer.policy_name policy ^ " failed to find the seq-list violation")
+  | Some f ->
+      Alcotest.(check bool)
+        "randomized reports are never complete" false report.Explorer.complete;
+      Alcotest.(check bool)
+        "minimized schedule is no longer than the original" true
+        (Array.length f.Sct.minimized <= Array.length f.Sct.schedule);
+      let path = Filename.temp_file "sct_policy" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Sct.save_finding ~path spec f;
+          let _, expected, results = Sct.replay_file ~times:2 path in
+          Alcotest.(check (option string))
+            "stored violation matches the finding" (Some f.Sct.min_violation) expected;
+          Alcotest.(check (list (option string)))
+            "both replays reproduce the identical violation"
+            [ Some f.Sct.min_violation; Some f.Sct.min_violation ]
+            results)
+
+(* Same policy, same seed, run twice: byte-identical counterexample —
+   the determinism contract randomized policies promise. *)
+let test_policy_deterministic () =
+  let policy = Explorer.Random { seed = 1; schedules = 64 } in
+  let get () =
+    match Sct.explore ~policy (duel "ll-async") with
+    | Some f, _ -> (f.Sct.violation, f.Sct.schedule, f.Sct.minimized)
+    | None, _ -> Alcotest.fail "random policy failed to find the violation"
+  in
+  let v1, s1, m1 = get () in
+  let v2, s2, m2 = get () in
+  Alcotest.(check string) "same violation" v1 v2;
+  Alcotest.(check (array int)) "same schedule" s1 s2;
+  Alcotest.(check (array int)) "same minimized prefix" m1 m2
+
+(* The lazy list stays clean under a random budget as large as the
+   exhaustive pin (2099 schedules on this very spec): sampling finds
+   no false positives on a correct lock-based algorithm — this is the
+   regression test for the scheduler's spin-fairness (an unfair random
+   chooser starves lock holders into bogus step-limit verdicts). *)
+let test_lazy_clean_under_random_budget () =
+  let policy = Explorer.Random { seed = 1; schedules = 2099 } in
+  let finding, report =
+    Sct.explore ~model:(Ascy_mem.Sim.model_of_name "flat") ~policy (fuzz "ll-lazy")
+  in
+  (match finding with
+  | Some f -> Alcotest.fail ("ll-lazy violated under random sampling: " ^ f.Sct.min_violation)
+  | None -> ());
+  Alcotest.(check int) "probe + full budget executed" 2100 report.Explorer.schedules;
+  Alcotest.(check bool) "sampling never proves exhaustion" false report.Explorer.complete
+
+(* PCT stays clean on algorithms that spin *with side effects*:
+   sl-herlihy's insert retries its whole find on meeting a marked
+   node and bst-tk's version try-lock fails a CAS per retry, so the
+   read-level spin detector cannot demote them — only the chooser's
+   priority-aging backstop (Scheduler.stall_limit) stops the
+   top-priority thread from monopolizing the run into a bogus
+   step-limit "livelock".  Both used to false-positive. *)
+let test_pct_effectful_spin_fairness () =
+  List.iter
+    (fun name ->
+      let policy = Explorer.Pct { seed = 1; depth = 3; schedules = 64 } in
+      let finding, report =
+        Sct.explore ~model:(Ascy_mem.Sim.model_of_name "flat") ~policy (fuzz name)
+      in
+      (match finding with
+      | Some f ->
+          Alcotest.fail
+            (Printf.sprintf "%s violated under PCT sampling: %s" name f.Sct.min_violation)
+      | None -> ());
+      Alcotest.(check int)
+        (name ^ ": probe + full budget executed")
+        65 report.Explorer.schedules)
+    [ "sl-herlihy"; "bst-tk" ]
+
+(* PCT's depth guarantee, both directions: at depth 1 there are no
+   change points, so every schedule is a serial execution ordered by
+   thread priority — a race needing one preemption mid-operation
+   cannot manifest, at any seed or budget.  At depth 2 the single
+   change point provides exactly that preemption. *)
+let test_pct_depth_guarantee () =
+  let spec = duel "ll-async" in
+  let explore depth =
+    fst (Sct.explore ~policy:(Explorer.Pct { seed = 1; depth; schedules = 64 }) spec)
+  in
+  (match explore 1 with
+  | Some f ->
+      Alcotest.fail ("depth-1 PCT (serial executions) manifested the bug: " ^ f.Sct.violation)
+  | None -> ());
+  Alcotest.(check bool) "depth-2 PCT finds the violation" true (explore 2 <> None)
+
+(* ------------------------------------------------------------------ *)
+(* The incomplete flag                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A budget-exhausted exploration is not a proof of absence; the
+   explorer always knew (report.complete) but summaries dropped it.
+   report_json must carry it both ways. *)
+let test_incomplete_flag_propagates () =
+  let module J = Ascy_util.Json in
+  let field name = function
+    | J.Obj fields -> List.assoc name fields
+    | _ -> Alcotest.fail "report_json did not produce an object"
+  in
+  (* truncated: a 5-schedule budget cannot exhaust ll-lazy's space *)
+  let truncated = { small_bounds with Explorer.max_schedules = Some 5 } in
+  let finding, report = Sct.explore ~bounds:truncated (duel "ll-lazy") in
+  Alcotest.(check bool) "no violation in the truncated prefix" true (finding = None);
+  Alcotest.(check bool) "report knows it is incomplete" false report.Explorer.complete;
+  let j = Sct.report_json report in
+  Alcotest.(check bool) "incomplete surfaces in JSON" true (field "incomplete" j = J.Bool true);
+  Alcotest.(check bool) "complete mirrors it" true (field "complete" j = J.Bool false);
+  (* exhausted: the same exploration under real bounds *)
+  let _, full = Sct.explore ~bounds:small_bounds (duel "ll-lazy") in
+  let j = Sct.report_json ~policy:Explorer.Exhaustive ~domains:1 full in
+  Alcotest.(check bool) "exhausted space is not incomplete" true
+    (field "incomplete" j = J.Bool false);
+  Alcotest.(check bool) "policy name serialized" true
+    (field "policy" j = J.String "exhaustive")
+
 let test_bad_schedule_file () =
   let path = Filename.temp_file "sct_bad" ".json" in
   Fun.protect
@@ -163,4 +310,19 @@ let suite =
     Alcotest.test_case "chunk encoding round-trips" `Quick test_chunks_roundtrip;
     Alcotest.test_case "schedule file round-trips" `Quick test_schedule_file_roundtrip;
     Alcotest.test_case "malformed schedule file rejected" `Quick test_bad_schedule_file;
+    Alcotest.test_case "random policy: find, minimize, replay bit-for-bit" `Quick
+      (policy_conformance (Explorer.Random { seed = 1; schedules = 64 }));
+    Alcotest.test_case "pct policy: find, minimize, replay bit-for-bit" `Quick
+      (policy_conformance (Explorer.Pct { seed = 1; depth = 2; schedules = 64 }));
+    Alcotest.test_case "swarm policy: find, minimize, replay bit-for-bit" `Quick
+      (policy_conformance (Explorer.Swarm { seeds = [ 1; 2; 3; 4 ]; schedules = 16 }));
+    Alcotest.test_case "random policy is seed-deterministic" `Quick test_policy_deterministic;
+    Alcotest.test_case "lazy list clean under a 2099-schedule random budget" `Quick
+      test_lazy_clean_under_random_budget;
+    Alcotest.test_case "pct stays fair under effect-ful spin loops" `Quick
+      test_pct_effectful_spin_fairness;
+    Alcotest.test_case "pct depth guarantee: missed at d-1, found at d" `Quick
+      test_pct_depth_guarantee;
+    Alcotest.test_case "incomplete flag propagates into report JSON" `Quick
+      test_incomplete_flag_propagates;
   ]
