@@ -1,7 +1,7 @@
 (* Sharded async KV service driver.
 
    Usage: ascy_serve [-out DIR] [-seed N] [-model NAME] [-scale smoke|full]
-                     [-smoke] [-native] [-lin] [-no-check] [SCENARIO ...]
+                     [-smoke] [-native] [-lin] [-no-check] [-resil] [SCENARIO ...]
 
    Runs the service scenario matrix (lib/service/scenario.ml) on the
    multicore simulator: client load generators multiplex thousands of
@@ -24,16 +24,31 @@
    domains via Mem_native as a smoke check of the same cluster code.
    -lin records shard 0's applied operations during the flash-crowd
    scenario and checks the history for linearizability.  Exit 1 on any
-   oracle violation or failed spot-check. *)
+   oracle violation or failed spot-check.
+
+   -resil switches to the resilience fault matrix instead: every
+   Service_run.Fault_matrix plan (none / drop / dup / delay /
+   slow-shard) crossed with a restart-free scenario and the
+   rolling-restart scenario (so message faults compose with F_crash
+   fail-overs), all run under the resilient request layer with the
+   delivery oracles (at-most-once, no-lost-ack, bounded staleness)
+   armed on top of conservation.  Each cell is executed twice and the
+   serialized results compared byte-for-byte — the inline replay
+   check.  Results go to DIR/RESIL_matrix.json (schema v1) plus the
+   usual BENCH_service.json records; exit 1 on any oracle violation
+   or replay divergence. *)
 
 module Sim = Ascy_mem.Sim
+module P = Ascy_platform.Platform
 module H = Ascy_util.Histogram
+module J = Ascy_util.Json
 module Report = Ascy_harness.Report
 module Results = Ascy_harness.Results
 module Scenario = Ascy_service.Scenario
 module Service_run = Ascy_service.Service_run
 module Service_native = Ascy_service.Service_native
 module Service_results = Ascy_service.Service_results
+module Resilience = Ascy_service.Resilience
 
 let p50_99_999 h =
   if H.count h = 0 then ("-", "-", "-")
@@ -49,6 +64,7 @@ let () =
   let native = ref false in
   let lin = ref false in
   let check = ref true in
+  let resil = ref false in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -80,10 +96,13 @@ let () =
     | "-no-check" :: rest ->
         check := false;
         parse rest
+    | "-resil" :: rest ->
+        resil := true;
+        parse rest
     | ("-h" | "-help" | "--help") :: _ ->
         print_endline
           "usage: ascy_serve [-out DIR] [-seed N] [-model NAME] [-scale smoke|full] [-smoke] \
-           [-native] [-lin] [-no-check] [SCENARIO ...]";
+           [-native] [-lin] [-no-check] [-resil] [SCENARIO ...]";
         Printf.printf "scenarios: %s\n"
           (String.concat ", "
              (List.map (fun sc -> sc.Scenario.name) (Scenario.matrix Scenario.Smoke)));
@@ -99,6 +118,95 @@ let () =
     | names -> List.map (Scenario.by_name !scale) (List.rev names)
   in
   let model_v = Sim.model_of_name !model in
+  if !resil then begin
+    (* Resilience fault matrix: every queue-layer fault plan crossed with
+       a restart-free scenario and the rolling-restart one (message
+       faults during F_crash fail-overs), resilient layer on, delivery
+       oracles armed, each cell executed twice for the inline bit-for-bit
+       replay check. *)
+    let platform = P.xeon20 in
+    let scenarios =
+      match !names with
+      | [] ->
+          [ Scenario.by_name !scale "read-mostly"; Scenario.by_name !scale "rolling-restart" ]
+      | names -> List.map (Scenario.by_name !scale) (List.rev names)
+    in
+    let rcfg = Resilience.default in
+    let failed = ref false in
+    let entries = ref [] in
+    let rows = ref [] in
+    Printf.printf "resilience fault matrix: %d scenario(s) x %d fault kind(s), scale %s, seed %d, model %s\n\n"
+      (List.length scenarios)
+      (List.length Service_run.Fault_matrix.names)
+      (Scenario.scale_name !scale) !seed !model;
+    Results.with_sink "service" (fun () ->
+        List.iter
+          (fun sc ->
+            List.iter
+              (fun fk ->
+                let fault_plan ~decisions =
+                  Service_run.Fault_matrix.plan fk sc ~platform ~decisions
+                in
+                let exec () =
+                  Service_run.run ~seed:!seed ~model:model_v ~platform ~check:!check
+                    ~resil:rcfg ~fault_plan sc
+                in
+                let label = Printf.sprintf "%s-%s-resil" sc.Scenario.name fk in
+                let r = exec () in
+                let replay_identical =
+                  J.to_string (Service_results.of_run ~label r)
+                  = J.to_string (Service_results.of_run ~label (exec ()))
+                in
+                Results.record (Service_results.of_run ~label r);
+                entries :=
+                  Service_results.resil_entry ~fault_kind:fk ~replay_identical r :: !entries;
+                let verdict =
+                  match (r.Service_run.violation, replay_identical) with
+                  | Some v, _ ->
+                      failed := true;
+                      "VIOLATION: " ^ v
+                  | None, false ->
+                      failed := true;
+                      "REPLAY-DIVERGED"
+                  | None, true -> "ok"
+                in
+                let m = r.Service_run.rmetrics in
+                rows :=
+                  [
+                    sc.Scenario.name;
+                    fk;
+                    string_of_int r.Service_run.ops_applied;
+                    string_of_int m.Resilience.m_retries;
+                    string_of_int m.Resilience.m_sheds;
+                    string_of_int m.Resilience.m_breaker_trips;
+                    Printf.sprintf "%d/%d" m.Resilience.m_hedge_wins m.Resilience.m_hedges;
+                    string_of_int m.Resilience.m_dup_suppressed;
+                    string_of_int m.Resilience.m_deadline_miss;
+                    string_of_int r.Service_run.takeovers;
+                    verdict;
+                  ]
+                  :: !rows)
+              Service_run.Fault_matrix.names)
+          scenarios);
+    Report.table ~title:"resilience fault matrix (delivery oracles + replay armed)"
+      [
+        "scenario"; "fault"; "applied"; "retries"; "sheds"; "trips"; "hedge w/t"; "dedup";
+        "misses"; "takeovers"; "verdict";
+      ]
+      (List.rev !rows);
+    let path =
+      Service_results.write_resil_matrix
+        (Service_results.resil_matrix ~seed:!seed ~model:!model
+           ~scale:(Scenario.scale_name !scale) (List.rev !entries))
+    in
+    Printf.printf "wrote %s\n" path;
+    if !failed then begin
+      print_endline "FAIL: resilience oracle violation or replay divergence";
+      exit 1
+    end;
+    print_endline "resilience fault matrix clean";
+    exit 0
+  end;
   let failed = ref false in
   Printf.printf "sharded KV service: %d scenario(s), scale %s, seed %d, model %s%s\n\n"
     (List.length scenarios) (Scenario.scale_name !scale) !seed !model

@@ -53,6 +53,13 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     s_cell : 'v node Mem.r; (* parent cell observed to hold the node *)
     s_expected : 'v node; (* the stored [Node n] block in that cell *)
     s_state : int Mem.r; (* 0 undecided / 1 commit / 2 abort *)
+    s_done : int Mem.r;
+        (* shared unlink outcome (the [ccas.outcome] every helper's
+           child-CAS submission carries): 0 pending / 1 landed / 2 never.
+           One cell for the whole record — a helper that loses the race
+           can still tell the unlink landed after the parent cell has
+           moved on, where a private outcome cell would misread that as
+           "never happened" and wrongly release the freeze *)
   }
 
   type 'v t = { root : 'v info; ssmem : S.t }
@@ -142,23 +149,32 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     | _ ->
         (* commit: unlink [n] via its parent's op protocol.  [only] and
            the expected block come from frozen cells, so every helper
-           submits the identical transition and the cell moves
+           submits the identical transition — carrying the record's
+           {e shared} [s_done] outcome — and the cell moves
            [s_expected -> only] at most once. *)
         let only = match (Mem.get n.left, Mem.get n.right) with Nil, r -> r | l, _ -> l in
-        let c =
-          { cell = s.s_cell; expected = s.s_expected; update = only; outcome = Mem.make_fresh 0 }
-        in
-        if execute s.s_parent c then
+        let c = { cell = s.s_cell; expected = s.s_expected; update = only; outcome = s.s_done } in
+        if execute s.s_parent c || Mem.get s.s_done = 1 then begin
           (* unlinked: [Dead] is terminal, and winning the transition
-             confers ownership of the deferred free *)
+             confers ownership of the deferred free.  The [s_done] check
+             covers a helper whose [execute] lost without performing
+             (e.g. the recorded parent died after the unlink landed):
+             the unlink happened, so the node must still go [Dead] — a
+             private per-helper outcome cell here once let a late helper
+             misread "cell moved past the unlink" as "unlink never
+             happened" and resurrect an unlinked node to [Clean], where
+             an insert could attach a child and lose it. *)
           Mem.cas n.op u Dead
+        end
         else begin
           (* the recorded parent went stale (or is itself dead) before
-             the unlink landed: release the freeze instead of marking
-             [Dead] — the node stays a linked routing tombstone (same as
-             any skipped physical cleanup) and nobody blocks behind it.
-             Keeping [Dead => unlinked] is what rules out reachable dead
-             nodes, which would wedge inserts routed into them. *)
+             the unlink landed — [s_done] still pending proves it never
+             will: the cell can no longer hold [s_expected].  Release
+             the freeze instead of marking [Dead] — the node stays a
+             linked routing tombstone (same as any skipped physical
+             cleanup) and nobody blocks behind it.  Keeping
+             [Dead => unlinked] is what rules out reachable dead nodes,
+             which would wedge inserts routed into them. *)
           ignore (Mem.cas n.op u Clean);
           false
         end
@@ -196,7 +212,15 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
       | Node m as stored when m == n -> (
           (* the expected value must be the stored block, not a fresh
              [Node n] wrapper *)
-          let s = { s_parent = p; s_cell = cell; s_expected = stored; s_state = Mem.make_fresh 0 } in
+          let s =
+            {
+              s_parent = p;
+              s_cell = cell;
+              s_expected = stored;
+              s_state = Mem.make_fresh 0;
+              s_done = Mem.make_fresh 0;
+            }
+          in
           let u = Splice s in
           match Mem.get n.op with
           | Clean ->

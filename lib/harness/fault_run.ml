@@ -65,6 +65,10 @@ let fault_str fe =
   | Sim.F_stall n -> Printf.sprintf "stall(t%d,%d)@%d" fe.Sim.fe_tid n fe.Sim.fe_at
   | Sim.F_numa_slow { factor; window } ->
       Printf.sprintf "numa-slow(s%d,x%.1f,%d)@%d" fe.Sim.fe_tid factor window fe.Sim.fe_at
+  | Sim.F_msg Sim.Msg_drop -> Printf.sprintf "drop(t%d)@%d" fe.Sim.fe_tid fe.Sim.fe_at
+  | Sim.F_msg Sim.Msg_dup -> Printf.sprintf "dup(t%d)@%d" fe.Sim.fe_tid fe.Sim.fe_at
+  | Sim.F_msg (Sim.Msg_delay n) ->
+      Printf.sprintf "delay(t%d,%d)@%d" fe.Sim.fe_tid n fe.Sim.fe_at
 
 let plan_str faults = String.concat " " (List.map fault_str faults)
 

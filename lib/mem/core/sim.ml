@@ -63,10 +63,13 @@ let runnable_copy = Simtypes.runnable_copy
 
 type scheduler = Simtypes.scheduler
 
+type msg_fault = Simtypes.msg_fault = Msg_drop | Msg_dup | Msg_delay of int
+
 type fault = Simtypes.fault =
   | F_crash
   | F_stall of int
   | F_numa_slow of { factor : float; window : int }
+  | F_msg of msg_fault
 
 type fault_event = Simtypes.fault_event = { fe_at : int; fe_tid : int; fe_fault : fault }
 
@@ -201,6 +204,7 @@ type t = {
   mutable crashed_tids : int list; (* newest first *)
   slow_factor : float array; (* per-socket NUMA slowdown multiplier *)
   slow_until : int array; (* decision count the slowdown expires at *)
+  pending_msgs : msg_fault list array; (* per-thread FIFO of F_msg tokens *)
 }
 
 let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ?(model = default_model)
@@ -254,6 +258,7 @@ let create ?(seed = 42) ?(jitter = 0) ?(trace_capacity = 0) ?(model = default_mo
     crashed_tids = [];
     slow_factor = Array.make platform.P.sockets 1.0;
     slow_until = Array.make platform.P.sockets 0;
+    pending_msgs = Array.make nthreads [];
     tracing = trace_capacity > 0;
     trace =
       (if trace_capacity > 0 then
@@ -600,10 +605,11 @@ let run ?scheduler ?(faults = []) sim bodies =
   sim.crashed_tids <- [];
   Array.fill sim.slow_factor 0 (Array.length sim.slow_factor) 1.0;
   Array.fill sim.slow_until 0 (Array.length sim.slow_until) 0;
+  Array.fill sim.pending_msgs 0 (Array.length sim.pending_msgs) [];
   List.iter
     (fun fe ->
       match fe.fe_fault with
-      | F_crash | F_stall _ ->
+      | F_crash | F_stall _ | F_msg _ ->
           if fe.fe_tid < 0 || fe.fe_tid >= sim.nthreads then
             invalid_arg "Sim.run: fault targets an unknown thread"
       | F_numa_slow _ ->
@@ -717,7 +723,13 @@ let run ?scheduler ?(faults = []) sim bodies =
                 th.stalled_until <- sim.decisions + max 0 n
           | F_numa_slow { factor; window } ->
               sim.slow_factor.(fe.fe_tid) <- factor;
-              sim.slow_until.(fe.fe_tid) <- sim.decisions + max 0 window);
+              sim.slow_until.(fe.fe_tid) <- sim.decisions + max 0 window
+          | F_msg m ->
+              (* queue the token; the target thread's next polled message
+                 boundary consumes it.  Appended, so a plan that stacks
+                 several tokens on one thread delivers them in fe_at
+                 order. *)
+              sim.pending_msgs.(fe.fe_tid) <- sim.pending_msgs.(fe.fe_tid) @ [ m ]);
           go ()
       | _ -> ()
     in
@@ -858,6 +870,23 @@ let with_sim ?seed ?jitter ?trace_capacity ?model ~platform ~nthreads f =
 let now () =
   let sim = the_sim () in
   if sim.cur < 0 then 0 else sim.threads.(sim.cur).clock
+
+(** Pop the next {!msg_fault} token queued (by an [F_msg] fault event)
+    for the executing simulated thread, if any.  Message boundaries —
+    the service layer's shard-queue sends — call this once per send and
+    enact the returned behavior on that message.  [None] always when no
+    simulation is installed (native runs), no fault plan is active, or
+    the caller isn't a simulated thread, so the polling code needs no
+    mode switch. *)
+let poll_msg_fault () =
+  match !(current ()) with
+  | Some sim when sim.any_fault && sim.cur >= 0 -> (
+      match sim.pending_msgs.(sim.cur) with
+      | [] -> None
+      | m :: rest ->
+          sim.pending_msgs.(sim.cur) <- rest;
+          Some m)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Tracing front-end                                                   *)

@@ -76,6 +76,20 @@ type scheduler = runnable -> int
 (* Fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(** Message-boundary faults: lossy-channel behaviors delivered as
+    {e tokens} to a target thread rather than applied by the simulator
+    itself.  The simulator only queues them (per thread, FIFO); code
+    with a message boundary — the service layer's shard queues — polls
+    its thread's queue at each send via [Sim.poll_msg_fault] and enacts
+    the token on that one message.  Memory-level simulation is
+    untouched, so the same plan replays bit-for-bit on any model.
+
+    - {!Msg_drop}: the send is silently discarded (lost request);
+    - {!Msg_dup}: the send is delivered twice (retransmit race);
+    - {!Msg_delay n}: the send is held back until [n] later sends by the
+      same thread have gone first (reordering/late delivery). *)
+type msg_fault = Msg_drop | Msg_dup | Msg_delay of int
+
 (** Injectable faults.  Faults are placed at {e decision points} — the
     same coordinate system controlled schedules use (one decision per
     executed simulator step), so a fault plan composes with a schedule
@@ -91,15 +105,18 @@ type scheduler = runnable -> int
     - {!F_numa_slow}: a socket's memory-access latencies are multiplied
       by [factor] for the next [window] decisions — a transient NUMA/
       interconnect degradation.  Only observable under the default
-      (free-running) policy, where latency decides the schedule. *)
+      (free-running) policy, where latency decides the schedule.
+    - {!F_msg}: queue a {!msg_fault} token for the target thread; its
+      next polled message boundary consumes it (see {!msg_fault}). *)
 type fault =
   | F_crash
   | F_stall of int
   | F_numa_slow of { factor : float; window : int }
+  | F_msg of msg_fault
 
 (** One fault of a plan: [fe_fault] applies once [fe_at] decisions have
     executed (before the [fe_at]-th next decision is taken).  [fe_tid]
-    is a thread id for [F_crash]/[F_stall] and a socket id for
+    is a thread id for [F_crash]/[F_stall]/[F_msg] and a socket id for
     [F_numa_slow]. *)
 type fault_event = { fe_at : int; fe_tid : int; fe_fault : fault }
 

@@ -23,7 +23,10 @@
         {"at": D, "tid": T, "fault": "crash"},
         {"at": D, "tid": T, "fault": "stall", "decisions": N},
         {"at": D, "socket": S, "fault": "numa-slow",
-         "factor": F, "window": W}, ...
+         "factor": F, "window": W},
+        {"at": D, "tid": T, "fault": "drop"},
+        {"at": D, "tid": T, "fault": "dup"},
+        {"at": D, "tid": T, "fault": "delay", "sends": N}, ...
       ]
     v}
     A file with no faults is always written as (and byte-identical to)
@@ -63,6 +66,20 @@ let fault_to_json fe =
           ("factor", J.Float factor);
           ("window", J.Int window);
         ]
+  | Sim.F_msg Sim.Msg_drop ->
+      J.Obj
+        [ ("at", J.Int fe.Sim.fe_at); ("tid", J.Int fe.Sim.fe_tid); ("fault", J.String "drop") ]
+  | Sim.F_msg Sim.Msg_dup ->
+      J.Obj
+        [ ("at", J.Int fe.Sim.fe_at); ("tid", J.Int fe.Sim.fe_tid); ("fault", J.String "dup") ]
+  | Sim.F_msg (Sim.Msg_delay n) ->
+      J.Obj
+        [
+          ("at", J.Int fe.Sim.fe_at);
+          ("tid", J.Int fe.Sim.fe_tid);
+          ("fault", J.String "delay");
+          ("sends", J.Int n);
+        ]
 
 let to_json ?(meta = []) ?(faults = []) ~prefix () =
   J.Obj
@@ -100,6 +117,11 @@ let fault_of_json j =
         fe_tid = int "socket";
         fe_fault = Sim.F_numa_slow { factor; window = int "window" };
       }
+  | Some (J.String "drop") ->
+      { Sim.fe_at = at; fe_tid = int "tid"; fe_fault = Sim.F_msg Sim.Msg_drop }
+  | Some (J.String "dup") -> { Sim.fe_at = at; fe_tid = int "tid"; fe_fault = Sim.F_msg Sim.Msg_dup }
+  | Some (J.String "delay") ->
+      { Sim.fe_at = at; fe_tid = int "tid"; fe_fault = Sim.F_msg (Sim.Msg_delay (int "sends")) }
   | _ -> fail "unknown fault kind"
 
 (** [of_json j] returns the decision prefix, the fault plan (empty for

@@ -23,7 +23,8 @@ module X = Ascy_util.Xorshift
 
 (** Runtime knobs the scenario does not fix: virtual-time source and
     latency unit (simulator) or neither (native), optional per-op
-    history recording, and fail-over staleness tuning. *)
+    history recording, fail-over staleness tuning, and the
+    message-fault source for the queue-layer fault matrix. *)
 type knobs = {
   now : unit -> int;  (** calling thread's clock, cycles; [fun () -> 0] natively *)
   cycle_ns : float;  (** ns per cycle for latency histograms; [<= 0.] disables them *)
@@ -32,9 +33,22 @@ type knobs = {
       (** linearizability spot-check hook, called at apply time *)
   hb_gap : int;  (** standby poll gap, cycles of local work *)
   hb_polls : int;  (** stale heartbeat polls before a standby takes the lease *)
+  poll_fault : unit -> Ascy_mem.Simtypes.msg_fault option;
+      (** polled once per client send boundary; the returned token is
+          enacted on that message.  The simulator binding is
+          [Sim.poll_msg_fault]; the default never faults (native runs,
+          fault-free simulations) *)
 }
 
-let default_knobs = { now = (fun () -> 0); cycle_ns = 0.0; record = None; hb_gap = 5_000; hb_polls = 8 }
+let default_knobs =
+  {
+    now = (fun () -> 0);
+    cycle_ns = 0.0;
+    record = None;
+    hb_gap = 5_000;
+    hb_polls = 8;
+    poll_fault = (fun () -> None);
+  }
 
 (** Thread ids are laid out clients first, then primaries, then (when
     provisioned) standbys — the coordinate system fault plans target. *)
@@ -44,7 +58,18 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
   module M = A (Mem)
   module Q = Shard_queue.Make (Mem)
 
-  type request = { rq_op : W.op; rq_key : int; rq_enq : int (* client clock at submit, cycles *) }
+  type request = {
+    rq_op : W.op;
+    rq_key : int;
+    rq_enq : int;  (** client clock at submit, cycles *)
+    rq_token : int;  (** idempotency token; 0 = untracked (legacy path) *)
+    rq_deadline : int;  (** absolute deadline, cycles; 0 = none *)
+    rq_ack : int Mem.r option;
+        (** completion cell shared by every attempt of a logical request:
+            0 pending, 1 applied (result false), 2 applied (result true).
+            [None] on the legacy fire-and-forget path, which therefore
+            allocates no extra lines and stays bit-for-bit identical *)
+  }
 
   type shard = {
     sid : int;
@@ -72,22 +97,36 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
         (** in-flight markers captured from a dead primary at takeover
             (the standby then overwrites [s_inflight] with its own) *)
     s_net : (int, int) Hashtbl.t;  (** recorded per-key membership delta *)
+    s_tokens : (int, int * int * int) Hashtbl.t;
+        (** token -> (applies, ack code, apply clock): the delivery
+            oracles' ground truth.  Host-side and written only by the
+            shard's active drainer; unlike the dedup window it is never
+            evicted, so duplicate applications are always visible *)
+    s_window : Resilience.window;  (** drainer-side idempotency dedup window *)
     s_sojourn : H.t;  (** enqueue -> completion, ns *)
     s_service : H.t;  (** apply time alone, ns *)
   }
 
   type t = {
     sc : Scenario.t;
+    resil : Resilience.config;
     shards : shard array;
     active_clients : int Mem.r;
     prefilled : (int, unit) Hashtbl.t;
     c_waits : int array;  (** full-ring wait iterations, per client thread *)
     c_routed : int array;  (** requests submitted, per client thread *)
+    c_metrics : Resilience.metrics array;  (** per client thread *)
+    d_metrics : Resilience.metrics array;  (** per shard (active drainer) *)
+    c_acked : (int, int * int * bool) Hashtbl.t array;
+        (** per client: token -> (submit clock, shard, hedged) of every
+            acknowledged logical request — the no-lost-ack /
+            bounded-staleness oracle input *)
   }
 
   let route t key = Router.route t.sc.Scenario.routing ~nshards:t.sc.Scenario.nshards key
 
-  let create (sc : Scenario.t) =
+  let create ?(resil = Resilience.disabled) (sc : Scenario.t) =
+    Resilience.validate resil;
     let mk_shard sid =
       {
         sid;
@@ -110,17 +149,23 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
         s_inflight = None;
         s_crash_inflight = [];
         s_net = Hashtbl.create 256;
+        s_tokens = Hashtbl.create 256;
+        s_window = Resilience.mk_window resil.Resilience.dedup_window;
         s_sojourn = H.create ();
         s_service = H.create ();
       }
     in
     {
       sc;
+      resil;
       shards = Array.init sc.Scenario.nshards mk_shard;
       active_clients = Mem.make_fresh sc.Scenario.nclients;
       prefilled = Hashtbl.create (max 16 sc.Scenario.initial);
       c_waits = Array.make sc.Scenario.nclients 0;
       c_routed = Array.make sc.Scenario.nclients 0;
+      c_metrics = Array.init sc.Scenario.nclients (fun _ -> Resilience.fresh_metrics ());
+      d_metrics = Array.init sc.Scenario.nshards (fun _ -> Resilience.fresh_metrics ());
+      c_acked = Array.init sc.Scenario.nclients (fun _ -> Hashtbl.create 64);
     }
 
   (** Prefill [sc.initial] distinct keys, routed to their owning shards.
@@ -163,7 +208,16 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
         (fun rng ->
           let op = Scenario.sample_op sc rng in
           let key = Scenario.sample_key sc ~round rng in
-          let rq = { rq_op = op; rq_key = key; rq_enq = knobs.now () } in
+          let rq =
+            {
+              rq_op = op;
+              rq_key = key;
+              rq_enq = knobs.now ();
+              rq_token = 0;
+              rq_deadline = 0;
+              rq_ack = None;
+            }
+          in
           let waits = Q.enqueue t.shards.(route t key).queue rq in
           t.c_waits.(tid) <- t.c_waits.(tid) + waits;
           t.c_routed.(tid) <- t.c_routed.(tid) + 1)
@@ -172,11 +226,184 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
     if Mem.fetch_and_add t.active_clients (-1) = 1 then
       Array.iter (fun sh -> Mem.set sh.closed true) t.shards
 
+  (** Resilient load generator: same session layout and close protocol
+      as {!client_body}, but every logical request gets an idempotency
+      token, an absolute deadline and a shared ack cell, is submitted
+      with explicit backpressure ({!Shard_queue.try_enqueue}), and is
+      retried with seeded exponential backoff on deadline miss or
+      rejection.  Per-shard circuit breakers (client-local — each client
+      trips on its own observations, so no cross-thread state) shed
+      requests while a shard looks unhealthy; reads still unacked after
+      [hedge_after] race a duplicate submission (safe under the
+      drainer's dedup window).  The per-client retry/jitter stream is
+      derived from the run seed via [Xorshift.split], so the entire
+      retry/hedge schedule replays bit-for-bit.
+
+      Message faults: each fresh send polls [knobs.poll_fault] and
+      enacts the token on that one message — drop (never enqueued),
+      dup (enqueued twice), delay (held back until [n] later send
+      boundaries by this client have passed). *)
+  let resilient_client_body t ~knobs ~seed tid () =
+    let sc = t.sc in
+    let r = t.resil in
+    let m = t.c_metrics.(tid) in
+    let acked_log = t.c_acked.(tid) in
+    let sessions =
+      let n = ref 0 in
+      for s = 0 to sc.Scenario.sessions - 1 do
+        if s mod sc.Scenario.nclients = tid then incr n
+      done;
+      Array.init !n (fun i ->
+          let sid = tid + (i * sc.Scenario.nclients) in
+          X.create ((seed * 2654435761) + (sid * 40503) + 17))
+    in
+    let jrng = X.split (X.create ((seed * 2654435761) + (tid * 48611) + 29)) in
+    let breakers =
+      match r.Resilience.breaker with
+      | Some bc -> Some (Array.init sc.Scenario.nshards (fun _ -> Resilience.mk_breaker bc))
+      | None -> None
+    in
+    let seq = ref 0 in
+    let delayed = ref [] (* (sends until delivery, sid, request) *) in
+    (* One send boundary: held messages age by one send, due ones are
+       delivered (best-effort — a full ring loses them, like any drop). *)
+    let age_delayed () =
+      let due, still = List.partition (fun (n, _, _) -> n <= 1) !delayed in
+      delayed := List.map (fun (n, s, rq) -> (n - 1, s, rq)) still;
+      List.iter
+        (fun (_, s, rq) ->
+          match Q.try_enqueue t.shards.(s).queue rq with
+          | Shard_queue.Enqueued _ -> ()
+          | Shard_queue.Overloaded -> m.Resilience.m_overloads <- m.Resilience.m_overloads + 1)
+        due
+    in
+    (* Send one copy, enacting a pending message-fault token.  [`Sent]
+       means the client should wait for the ack (a dropped or delayed
+       message looks sent — that is the point); [`Overloaded] is the
+       explicit queue-full rejection. *)
+    let send sid rq =
+      age_delayed ();
+      match knobs.poll_fault () with
+      | Some Ascy_mem.Simtypes.Msg_drop ->
+          m.Resilience.m_fault_drops <- m.Resilience.m_fault_drops + 1;
+          `Sent
+      | Some Ascy_mem.Simtypes.Msg_dup -> (
+          m.Resilience.m_fault_dups <- m.Resilience.m_fault_dups + 1;
+          match Q.try_enqueue t.shards.(sid).queue rq with
+          | Shard_queue.Overloaded -> `Overloaded
+          | Shard_queue.Enqueued _ -> (
+              match Q.try_enqueue t.shards.(sid).queue rq with
+              | Shard_queue.Enqueued _ | Shard_queue.Overloaded -> `Sent))
+      | Some (Ascy_mem.Simtypes.Msg_delay n) ->
+          m.Resilience.m_fault_delays <- m.Resilience.m_fault_delays + 1;
+          delayed := (max 1 n, sid, rq) :: !delayed;
+          `Sent
+      | None -> (
+          match Q.try_enqueue t.shards.(sid).queue rq with
+          | Shard_queue.Enqueued _ -> `Sent
+          | Shard_queue.Overloaded -> `Overloaded)
+    in
+    let do_request op key =
+      let sid = route t key in
+      incr seq;
+      let tok = Resilience.token ~tid ~seq:!seq in
+      let submit0 = knobs.now () in
+      let admitted =
+        match breakers with Some bs -> Resilience.allow bs.(sid) ~now:submit0 | None -> true
+      in
+      if not admitted then m.Resilience.m_sheds <- m.Resilience.m_sheds + 1
+      else begin
+        let ack = Mem.make_fresh 0 in
+        let fail_step nowc =
+          match breakers with Some bs -> Resilience.on_failure bs.(sid) ~now:nowc | None -> ()
+        in
+        let rec attempt i =
+          let nowc = knobs.now () in
+          let deadline = nowc + r.Resilience.deadline in
+          let rq =
+            {
+              rq_op = op;
+              rq_key = key;
+              rq_enq = nowc;
+              rq_token = tok;
+              rq_deadline = deadline;
+              rq_ack = Some ack;
+            }
+          in
+          t.c_routed.(tid) <- t.c_routed.(tid) + 1;
+          let retry_or_give_up () =
+            if i < r.Resilience.retry.Resilience.max_attempts then begin
+              m.Resilience.m_retries <- m.Resilience.m_retries + 1;
+              Mem.work (Resilience.backoff r.Resilience.retry ~attempt:i ~rng:jrng);
+              attempt (i + 1)
+            end
+            else m.Resilience.m_gave_up <- m.Resilience.m_gave_up + 1
+          in
+          match send sid rq with
+          | `Overloaded ->
+              m.Resilience.m_overloads <- m.Resilience.m_overloads + 1;
+              fail_step nowc;
+              retry_or_give_up ()
+          | `Sent ->
+              let hedged = ref false in
+              let rec poll () =
+                if Mem.get ack <> 0 then `Acked
+                else begin
+                  let c = knobs.now () in
+                  if c >= deadline then `Miss
+                  else begin
+                    if
+                      (not !hedged)
+                      && r.Resilience.hedge_after > 0
+                      && op = W.Search
+                      && c - nowc >= r.Resilience.hedge_after
+                    then begin
+                      hedged := true;
+                      m.Resilience.m_hedges <- m.Resilience.m_hedges + 1;
+                      ignore (send sid rq)
+                    end;
+                    Mem.work r.Resilience.poll_gap;
+                    poll ()
+                  end
+                end
+              in
+              (match poll () with
+              | `Acked ->
+                  m.Resilience.m_acked <- m.Resilience.m_acked + 1;
+                  if !hedged then m.Resilience.m_hedge_wins <- m.Resilience.m_hedge_wins + 1;
+                  Hashtbl.replace acked_log tok (submit0, sid, !hedged);
+                  (match breakers with Some bs -> Resilience.on_success bs.(sid) | None -> ())
+              | `Miss ->
+                  m.Resilience.m_deadline_miss <- m.Resilience.m_deadline_miss + 1;
+                  fail_step (knobs.now ());
+                  retry_or_give_up ())
+        in
+        attempt 1
+      end
+    in
+    for round = 0 to sc.Scenario.ops_per_session - 1 do
+      Array.iter
+        (fun rng ->
+          let op = Scenario.sample_op sc rng in
+          let key = Scenario.sample_key sc ~round rng in
+          do_request op key)
+        sessions
+    done;
+    (match breakers with
+    | Some bs ->
+        Array.iter
+          (fun b ->
+            m.Resilience.m_breaker_trips <- m.Resilience.m_breaker_trips + b.Resilience.b_trips)
+          bs
+    | None -> ());
+    if Mem.fetch_and_add t.active_clients (-1) = 1 then
+      Array.iter (fun sh -> Mem.set sh.closed true) t.shards
+
   (* ---------------------------------------------------------------- *)
   (* Shard workers                                                     *)
   (* ---------------------------------------------------------------- *)
 
-  let apply_one sh ~knobs (rq : request) =
+  let apply_fresh sh ~knobs (rq : request) =
     sh.s_inflight <- Some (rq.rq_op, rq.rq_key);
     let t0 = knobs.now () in
     let ok =
@@ -208,11 +435,51 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
     (match knobs.record with
     | Some f -> f ~sid:sh.sid ~op:rq.rq_op ~key:rq.rq_key ~ok ~inv:t0 ~res:t1
     | None -> ());
+    (* token bookkeeping (host-side, hence atomic with respect to
+       crash-stop, which only lands at memory-effect boundaries): the
+       oracle table and the dedup window move together, so a standby
+       re-draining this request after a crash below is recognized as a
+       duplicate *)
+    if rq.rq_token <> 0 then begin
+      let applies =
+        match Hashtbl.find_opt sh.s_tokens rq.rq_token with Some (a, _, _) -> a | None -> 0
+      in
+      Hashtbl.replace sh.s_tokens rq.rq_token (applies + 1, (if ok then 2 else 1), t1);
+      Resilience.window_add sh.s_window rq.rq_token
+    end;
+    (match rq.rq_ack with Some ack -> Mem.set ack (if ok then 2 else 1) | None -> ());
     (* the commit makes the application durable: a crash before this
        point re-applies the request under the standby, a crash after it
        loses nothing *)
     Q.commit sh.queue;
     sh.s_inflight <- None
+
+  (** Dispatch one peeked request: dedup-suppress duplicates inside the
+      window, shed requests that expired in the queue, apply the rest. *)
+  let apply_one sh ~knobs ~resil ~dm (rq : request) =
+    if rq.rq_token <> 0 && Resilience.window_mem sh.s_window rq.rq_token then begin
+      (* duplicate delivery inside the dedup window (retransmit, hedge,
+         injected dup, or a standby re-draining a committed-but-unacked
+         request): suppress the apply, re-acknowledge idempotently with
+         the recorded outcome.  This is what makes retries
+         at-most-once-applied. *)
+      dm.Resilience.m_dup_suppressed <- dm.Resilience.m_dup_suppressed + 1;
+      (match (rq.rq_ack, Hashtbl.find_opt sh.s_tokens rq.rq_token) with
+      | Some ack, Some (_, code, _) -> Mem.set ack code
+      | Some ack, None -> Mem.set ack 1 (* unreachable: window entries are recorded tokens *)
+      | None, _ -> ());
+      Q.commit sh.queue
+    end
+    else if resil.Resilience.enabled && rq.rq_deadline > 0 && knobs.now () > rq.rq_deadline
+    then begin
+      (* expired in the queue: shed without applying — the client has
+         already declared the miss and (re)tried; serving the corpse
+         would waste shard time under exactly the overload that made it
+         late.  Never acked, so the no-lost-ack oracle is untouched. *)
+      dm.Resilience.m_sheds <- dm.Resilience.m_sheds + 1;
+      Q.commit sh.queue
+    end
+    else apply_fresh sh ~knobs rq
 
   (** Drain loop shared by the primary and a post-takeover standby:
       batched dispatch (up to [batch_max] per wakeup), heartbeat bump
@@ -227,7 +494,7 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
       while !continue && !n < sc.Scenario.batch_max do
         match Q.peek sh.queue with
         | Some rq ->
-            apply_one sh ~knobs rq;
+            apply_one sh ~knobs ~resil:t.resil ~dm:t.d_metrics.(sh.sid) rq;
             Mem.set sh.hb (Mem.get sh.hb + 1);
             incr n
         | None -> continue := false
@@ -279,8 +546,9 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
   let bodies t ~knobs ~seed =
     let sc = t.sc in
     let nc = sc.Scenario.nclients and ns = sc.Scenario.nshards in
+    let client = if t.resil.Resilience.enabled then resilient_client_body else client_body in
     Array.init (Scenario.nthreads sc) (fun tid ->
-        if tid < nc then client_body t ~knobs ~seed tid
+        if tid < nc then client t ~knobs ~seed tid
         else if tid < nc + ns then primary_body t t.shards.(tid - nc) ~knobs
         else standby_body t t.shards.(tid - nc - ns) ~knobs)
 
@@ -340,6 +608,74 @@ module Make (Mem : Ascy_mem.Memory.S) (A : Ascy_core.Set_intf.MAKER) = struct
         (match !bad with
         | [] -> None
         | l -> Some ("conservation violated: " ^ String.concat "; " (List.rev l)))
+
+  (** End-to-end delivery oracles for resilient runs, checked against
+      the drainers' token tables and the clients' ack logs:
+
+      - {e at-most-once} (armed when the dedup window is on): no
+        idempotency token was applied more than once, no matter how many
+        copies — retries, hedges, injected duplicates, standby re-drains
+        — reached a drainer;
+      - {e no-lost-ack}: every acknowledgment a client observed is backed
+        by an application recorded on the owning shard;
+      - {e bounded staleness}: an acknowledged {e hedged} read was
+        applied by its owning shard no earlier than [staleness_bound]
+        cycles before its submission (per-thread clocks are only loosely
+        coupled, hence the slack; the structural guarantee is that
+        hedges are served by the same authoritative drainer, never a
+        stale replica).
+
+      Returns [None] when everything holds, or a message naming the
+      first few violations. *)
+  let check_delivery t =
+    if not t.resil.Resilience.enabled then None
+    else begin
+      let bad = ref [] in
+      let report msg = if List.length !bad < 8 then bad := msg :: !bad in
+      (* At-most-once is checked unconditionally: with the dedup window
+         disabled the config *declares* may-apply-duplicates, and this
+         oracle is exactly what detects that a duplicated delivery (or a
+         crash re-apply) really did apply twice — the teeth the fault
+         matrix tests bite with. *)
+      Array.iter
+        (fun sh ->
+          Hashtbl.iter
+            (fun tok (applies, _, _) ->
+              if applies > 1 then
+                report
+                  (Printf.sprintf "at-most-once: token %d applied %d times on shard %d" tok
+                     applies sh.sid))
+            sh.s_tokens)
+        t.shards;
+      Array.iter
+        (fun acked ->
+          Hashtbl.iter
+            (fun tok (submit, sid, hedged) ->
+              match Hashtbl.find_opt t.shards.(sid).s_tokens tok with
+              | None ->
+                  report
+                    (Printf.sprintf "no-lost-ack: token %d acked but never applied on shard %d"
+                       tok sid)
+              | Some (_, _, t_apply) ->
+                  if hedged && t_apply + t.resil.Resilience.staleness_bound < submit then
+                    report
+                      (Printf.sprintf
+                         "bounded-staleness: hedged read token %d applied at %d, submitted at %d"
+                         tok t_apply submit))
+            acked)
+        t.c_acked;
+      match !bad with
+      | [] -> None
+      | l -> Some ("delivery violated: " ^ String.concat "; " (List.rev l))
+    end
+
+  (** All per-client and per-drainer resilience counters of the run,
+      merged. *)
+  let resil_metrics t =
+    let total = Resilience.fresh_metrics () in
+    Array.iter (fun m -> Resilience.merge_into ~into:total m) t.c_metrics;
+    Array.iter (fun m -> Resilience.merge_into ~into:total m) t.d_metrics;
+    total
 
   let total_applied t = Array.fold_left (fun a sh -> a + sh.s_applied) 0 t.shards
   let total_size t = Array.fold_left (fun a sh -> a + M.size sh.set) 0 t.shards

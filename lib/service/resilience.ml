@@ -1,0 +1,294 @@
+(** Resilient-request policy layer for the sharded KV service: request
+    deadlines, retry/backoff schedules, idempotency dedup windows,
+    per-shard circuit breakers, hedged reads, and the metrics record the
+    harness aggregates into [BENCH_service.json] / [RESIL_matrix.json].
+
+    Everything here is host-side policy state — plain OCaml, no [Mem]
+    cells — owned by exactly one service thread (a client owns its
+    breakers and metrics, a drainer owns its dedup window), so the
+    module is backend-agnostic and allocation-free on the request hot
+    path.  The cross-thread moving parts (ack cells, queue tickets) stay
+    in {!Cluster} where they belong.
+
+    Determinism: every randomized choice (retry jitter) draws from a
+    caller-supplied {!Ascy_util.Xorshift} stream that {!Cluster} derives
+    from the run seed via [Xorshift.split], so a given seed replays the
+    whole retry/hedge schedule bit-for-bit. *)
+
+module J = Ascy_util.Json
+module X = Ascy_util.Xorshift
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type retry_cfg = {
+  max_attempts : int;  (** total tries, first send included; >= 1 *)
+  backoff_base : int;  (** cycles of local work before retry 2 *)
+  backoff_mult : int;  (** multiplier per further attempt *)
+  jitter : int;  (** uniform [0, jitter) cycles added per backoff; 0 = none *)
+}
+
+type breaker_cfg = {
+  trip_after : int;  (** consecutive failures that open the breaker *)
+  cooldown : int;  (** cycles the breaker stays open before probing *)
+  probes : int;  (** half-open probes allowed before re-deciding *)
+}
+
+type config = {
+  enabled : bool;
+      (** [false]: the cluster runs the legacy fire-and-forget client
+          path, bit-for-bit identical to the pre-resilience service *)
+  deadline : int;  (** per-request deadline, cycles after submit; > 0 when enabled *)
+  poll_gap : int;  (** local work per ack poll, cycles *)
+  retry : retry_cfg;
+  dedup_window : int;
+      (** per-shard remembered idempotency tokens (FIFO eviction);
+          0 disables dedup — duplicated deliveries then apply twice,
+          which the at-most-once oracle reports *)
+  breaker : breaker_cfg option;  (** [None] = breakers off *)
+  hedge_after : int;
+      (** cycles without an ack before a read is hedged (a duplicate
+          submission racing the original); 0 = hedging off *)
+  staleness_bound : int;
+      (** bounded-staleness oracle slack for hedged reads, cycles:
+          the apply may predate the submit by at most this much
+          (per-thread clocks are only loosely coupled) *)
+}
+
+let disabled =
+  {
+    enabled = false;
+    deadline = 0;
+    poll_gap = 200;
+    retry = { max_attempts = 1; backoff_base = 0; backoff_mult = 2; jitter = 0 };
+    dedup_window = 0;
+    breaker = None;
+    hedge_after = 0;
+    staleness_bound = 0;
+  }
+
+(** Smoke-scale defaults: deadline and hedge threshold sized against the
+    simulator's queue sojourn under the scenario matrix (tens of
+    microseconds at a few GHz), generous dedup window, breaker tuned to
+    trip within one gray-failure window. *)
+let default =
+  {
+    enabled = true;
+    deadline = 400_000;
+    poll_gap = 200;
+    retry = { max_attempts = 4; backoff_base = 2_000; backoff_mult = 2; jitter = 1_000 };
+    dedup_window = 4_096;
+    breaker = Some { trip_after = 8; cooldown = 100_000; probes = 2 };
+    hedge_after = 150_000;
+    staleness_bound = 1_000_000;
+  }
+
+let validate cfg =
+  if cfg.enabled then begin
+    if cfg.deadline <= 0 then invalid_arg "Resilience: enabled config needs deadline > 0";
+    if cfg.retry.max_attempts < 1 then invalid_arg "Resilience: max_attempts must be >= 1";
+    if cfg.poll_gap <= 0 then invalid_arg "Resilience: poll_gap must be > 0"
+  end
+
+(** Backoff before attempt [attempt + 1] (so [attempt = 1] prices the
+    first retry): exponential in the attempt index plus seeded jitter.
+    Pure function of the config, attempt and the rng stream state. *)
+let backoff (r : retry_cfg) ~attempt ~rng =
+  let rec pow acc n = if n <= 0 then acc else pow (acc * r.backoff_mult) (n - 1) in
+  let base = pow r.backoff_base (attempt - 1) in
+  base + if r.jitter > 0 then X.below rng r.jitter else 0
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Classic closed / open / half-open machine, one instance per
+    (client, shard) pair: each client trips on its own observations, so
+    the state needs no cross-thread cells in either backend.  Failures
+    are deadline misses and queue-full rejections; successes are acks. *)
+type breaker_state = Closed | Open | Half_open
+
+type breaker = {
+  b_cfg : breaker_cfg;
+  mutable b_state : breaker_state;
+  mutable b_failures : int;  (** consecutive, while closed *)
+  mutable b_opened_at : int;  (** clock at the trip *)
+  mutable b_probes : int;  (** probes issued while half-open *)
+  mutable b_trips : int;  (** lifetime trip count (metric) *)
+}
+
+let mk_breaker b_cfg =
+  { b_cfg; b_state = Closed; b_failures = 0; b_opened_at = 0; b_probes = 0; b_trips = 0 }
+
+(** May a request be sent now?  Transitions [Open -> Half_open] once the
+    cooldown has elapsed; while half-open, admits at most [probes]
+    requests.  Callers must report the outcome of every admitted request
+    via {!on_success} / {!on_failure}. *)
+let allow b ~now =
+  match b.b_state with
+  | Closed -> true
+  | Open ->
+      if now - b.b_opened_at >= b.b_cfg.cooldown then begin
+        b.b_state <- Half_open;
+        b.b_probes <- 1;
+        true
+      end
+      else false
+  | Half_open ->
+      if b.b_probes < b.b_cfg.probes then begin
+        b.b_probes <- b.b_probes + 1;
+        true
+      end
+      else false
+
+let on_success b =
+  b.b_failures <- 0;
+  b.b_state <- Closed
+
+let on_failure b ~now =
+  match b.b_state with
+  | Half_open ->
+      (* a failed probe re-opens immediately *)
+      b.b_state <- Open;
+      b.b_opened_at <- now;
+      b.b_trips <- b.b_trips + 1
+  | Closed ->
+      b.b_failures <- b.b_failures + 1;
+      if b.b_failures >= b.b_cfg.trip_after then begin
+        b.b_state <- Open;
+        b.b_opened_at <- now;
+        b.b_failures <- 0;
+        b.b_trips <- b.b_trips + 1
+      end
+  | Open -> ()
+
+let state_name b =
+  match b.b_state with Closed -> "closed" | Open -> "open" | Half_open -> "half-open"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-thread resilience counters; {!merge_into} folds the per-client
+    and per-drainer instances into the run total. *)
+type metrics = {
+  mutable m_retries : int;  (** re-submissions after a deadline miss / rejection *)
+  mutable m_sheds : int;  (** requests dropped client-side (breaker open or retries exhausted) *)
+  mutable m_overloads : int;  (** queue-full rejections observed *)
+  mutable m_breaker_trips : int;
+  mutable m_hedges : int;  (** duplicate reads raced after [hedge_after] *)
+  mutable m_hedge_wins : int;  (** hedged reads that still acked in time *)
+  mutable m_deadline_miss : int;
+  mutable m_acked : int;  (** logical requests acknowledged *)
+  mutable m_gave_up : int;  (** logical requests abandoned after all attempts *)
+  mutable m_dup_suppressed : int;  (** drainer-side dedup-window hits *)
+  mutable m_fault_drops : int;  (** Msg_drop tokens enacted at send *)
+  mutable m_fault_dups : int;  (** Msg_dup tokens enacted at send *)
+  mutable m_fault_delays : int;  (** Msg_delay tokens enacted at send *)
+}
+
+let fresh_metrics () =
+  {
+    m_retries = 0;
+    m_sheds = 0;
+    m_overloads = 0;
+    m_breaker_trips = 0;
+    m_hedges = 0;
+    m_hedge_wins = 0;
+    m_deadline_miss = 0;
+    m_acked = 0;
+    m_gave_up = 0;
+    m_dup_suppressed = 0;
+    m_fault_drops = 0;
+    m_fault_dups = 0;
+    m_fault_delays = 0;
+  }
+
+let merge_into ~(into : metrics) (m : metrics) =
+  into.m_retries <- into.m_retries + m.m_retries;
+  into.m_sheds <- into.m_sheds + m.m_sheds;
+  into.m_overloads <- into.m_overloads + m.m_overloads;
+  into.m_breaker_trips <- into.m_breaker_trips + m.m_breaker_trips;
+  into.m_hedges <- into.m_hedges + m.m_hedges;
+  into.m_hedge_wins <- into.m_hedge_wins + m.m_hedge_wins;
+  into.m_deadline_miss <- into.m_deadline_miss + m.m_deadline_miss;
+  into.m_acked <- into.m_acked + m.m_acked;
+  into.m_gave_up <- into.m_gave_up + m.m_gave_up;
+  into.m_dup_suppressed <- into.m_dup_suppressed + m.m_dup_suppressed;
+  into.m_fault_drops <- into.m_fault_drops + m.m_fault_drops;
+  into.m_fault_dups <- into.m_fault_dups + m.m_fault_dups;
+  into.m_fault_delays <- into.m_fault_delays + m.m_fault_delays
+
+let metrics_json (m : metrics) =
+  J.Obj
+    [
+      ("retries", J.Int m.m_retries);
+      ("sheds", J.Int m.m_sheds);
+      ("overloads", J.Int m.m_overloads);
+      ("breaker_trips", J.Int m.m_breaker_trips);
+      ("hedges", J.Int m.m_hedges);
+      ("hedge_wins", J.Int m.m_hedge_wins);
+      ("deadline_miss", J.Int m.m_deadline_miss);
+      ("acked", J.Int m.m_acked);
+      ("gave_up", J.Int m.m_gave_up);
+      ("dup_suppressed", J.Int m.m_dup_suppressed);
+      ("fault_drops", J.Int m.m_fault_drops);
+      ("fault_dups", J.Int m.m_fault_dups);
+      ("fault_delays", J.Int m.m_fault_delays);
+    ]
+
+let config_json (c : config) =
+  J.Obj
+    [
+      ("enabled", J.Bool c.enabled);
+      ("deadline", J.Int c.deadline);
+      ("poll_gap", J.Int c.poll_gap);
+      ( "retry",
+        J.Obj
+          [
+            ("max_attempts", J.Int c.retry.max_attempts);
+            ("backoff_base", J.Int c.retry.backoff_base);
+            ("backoff_mult", J.Int c.retry.backoff_mult);
+            ("jitter", J.Int c.retry.jitter);
+          ] );
+      ("dedup_window", J.Int c.dedup_window);
+      ( "breaker",
+        match c.breaker with
+        | None -> J.Null
+        | Some b ->
+            J.Obj
+              [
+                ("trip_after", J.Int b.trip_after);
+                ("cooldown", J.Int b.cooldown);
+                ("probes", J.Int b.probes);
+              ] );
+      ("hedge_after", J.Int c.hedge_after);
+      ("staleness_bound", J.Int c.staleness_bound);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Idempotency tokens                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Cluster-unique idempotency token for logical request [seq] of client
+    [tid].  [seq] starts at 1, so 0 is free to mean "no token" (the
+    legacy fire-and-forget path). *)
+let token ~tid ~seq = (tid lsl 24) + seq
+
+(** Drainer-side dedup window: remembers the last [cap] applied tokens
+    (FIFO eviction), so a duplicated delivery inside the window is
+    recognized and suppressed.  Owned by the shard's active drainer —
+    never shared. *)
+type window = { w_cap : int; w_fifo : int Queue.t; w_seen : (int, unit) Hashtbl.t }
+
+let mk_window cap = { w_cap = cap; w_fifo = Queue.create (); w_seen = Hashtbl.create (max 16 cap) }
+
+let window_mem w tok = w.w_cap > 0 && Hashtbl.mem w.w_seen tok
+
+let window_add w tok =
+  if w.w_cap > 0 && not (Hashtbl.mem w.w_seen tok) then begin
+    Hashtbl.replace w.w_seen tok ();
+    Queue.push tok w.w_fifo;
+    if Queue.length w.w_fifo > w.w_cap then Hashtbl.remove w.w_seen (Queue.pop w.w_fifo)
+  end

@@ -23,7 +23,30 @@
     v}
     where <pdist> is [{ "count": N, "mean": x, "p50": x, "p99": x,
     "p999": x }].  Native smoke records use ["kind": "service-native"]
-    and carry only wall-clock throughput plus the oracle verdict. *)
+    and carry only wall-clock throughput plus the oracle verdict.
+
+    Runs with the resilient request layer enabled additionally carry
+    {v
+      "resilience": { "config": { ...Resilience.config_json... },
+                      "metrics": { ...Resilience.metrics_json... } }
+    v}
+    — and only those, so legacy records stay byte-identical.
+
+    This module also owns RESIL_matrix.json (schema version 1), the
+    fault-matrix artifact of [ascy_serve -resil]: one record per
+    (scenario x fault kind) cell with the composed fault plan, the
+    declared vs observed delivery semantics, the oracle verdict, the
+    resilience counters, and the inline bit-for-bit replay verdict:
+    {v
+    { "version": 1, "kind": "ascy-resil-matrix", "seed": N, "model": s,
+      "scale": s,
+      "runs": [
+        { "scenario": s, "fault": s, "declared_semantics": s,
+          "faults": [ <Replay fault events, decision-indexed> ],
+          "ops_requested": N, "ops_applied": N,
+          "violation": str | null, "replay_identical": b,
+          "resilience": { "config": {...}, "metrics": {...} } }, ... ] }
+    v} *)
 
 module J = Ascy_util.Json
 module Results = Ascy_harness.Results
@@ -53,7 +76,7 @@ let shard_json (ss : Service_run.shard_stat) =
     [generated_at_unix]). *)
 let of_run ?(label = "") (r : Service_run.result) =
   J.Obj
-    [
+    ([
       ("label", J.String label);
       ("kind", J.String "service");
       ("scenario", Scenario.to_json r.Service_run.scenario);
@@ -85,6 +108,19 @@ let of_run ?(label = "") (r : Service_run.result) =
       ("final_size", J.Int r.Service_run.final_size);
       ("stats", Results.stats_json r.Service_run.stats);
     ]
+    @
+    (* only resilient runs carry the block, so legacy records (and the
+       golden file pinning them) are byte-identical to schema 1 *)
+    (if r.Service_run.resil.Resilience.enabled then
+       [
+         ( "resilience",
+           J.Obj
+             [
+               ("config", Resilience.config_json r.Service_run.resil);
+               ("metrics", Resilience.metrics_json r.Service_run.rmetrics);
+             ] );
+       ]
+     else []))
 
 (** Serialize one native (real-domains) smoke run.  Wall-clock timing:
     not deterministic, and excluded from byte-identity claims. *)
@@ -109,3 +145,61 @@ let of_native_run ?(label = "") (r : Service_native.result) =
         match r.Service_native.violation with Some v -> J.String v | None -> J.Null );
       ("final_size", J.Int r.Service_native.final_size);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* RESIL_matrix.json (schema v1)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** One (scenario x fault kind) cell of the resilience matrix.
+    [replay_identical] is the driver's inline determinism check: the
+    same seed and fault plan re-executed and serialized to the same
+    bytes. *)
+let resil_entry ~fault_kind ~replay_identical (r : Service_run.result) =
+  let declared =
+    if r.Service_run.resil.Resilience.dedup_window > 0 then "at-most-once-applied"
+    else "may-apply-duplicates"
+  in
+  J.Obj
+    [
+      ("scenario", J.String r.Service_run.scenario.Scenario.name);
+      ("fault", J.String fault_kind);
+      ("declared_semantics", J.String declared);
+      ("faults", J.List (List.map Ascy_sct.Replay.fault_to_json r.Service_run.faults));
+      ("ops_requested", J.Int r.Service_run.ops_requested);
+      ("ops_applied", J.Int r.Service_run.ops_applied);
+      ("takeovers", J.Int r.Service_run.takeovers);
+      ( "violation",
+        match r.Service_run.violation with Some v -> J.String v | None -> J.Null );
+      ("replay_identical", J.Bool replay_identical);
+      ( "resilience",
+        J.Obj
+          [
+            ("config", Resilience.config_json r.Service_run.resil);
+            ("metrics", Resilience.metrics_json r.Service_run.rmetrics);
+          ] );
+    ]
+
+let resil_matrix ~seed ~model ~scale entries =
+  J.Obj
+    [
+      ("version", J.Int 1);
+      ("kind", J.String "ascy-resil-matrix");
+      ("seed", J.Int seed);
+      ("model", J.String model);
+      ("scale", J.String scale);
+      ("runs", J.List entries);
+    ]
+
+(** Write RESIL_matrix.json next to the BENCH files (the
+    [ASCY_BENCH_OUT] directory). *)
+let write_resil_matrix j =
+  let dir = Results.out_dir () in
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  let path = Filename.concat dir "RESIL_matrix.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~indent:1 j);
+      output_char oc '\n');
+  path

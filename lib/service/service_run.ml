@@ -62,6 +62,8 @@ type result = {
   linearizable : bool option;  (** shard-0 history spot-check, when requested *)
   final_size : int;
   stats : Sim.run_stats;
+  resil : Resilience.config;  (** the resilience policy the run used *)
+  rmetrics : Resilience.metrics;  (** merged resilience counters (zero when disabled) *)
 }
 
 let hist_kind = function
@@ -80,21 +82,89 @@ let restart_plan (sc : Scenario.t) ~decisions =
         fe_fault = Sim.F_crash;
       })
 
-(** [run ?seed ?model ?platform ?check ?spotcheck sc] executes scenario
-    [sc] and returns every service metric of the run.  [check] (default:
-    on) runs post-run structural validation and conservation;
+(** The queue-layer fault matrix: a named plan generator per gray-failure
+    mode, each a function of the calibrated fault-free decision count so
+    the events land inside the run and the whole plan lives in the same
+    decision coordinate system as crash plans and SCT schedules (one
+    replay artifact, composable with {!restart_plan}). *)
+module Fault_matrix = struct
+  (* [spread n] — n decision indices evenly spread over the middle 60%
+     of the calibrated run, cycling over client tids: message faults
+     target client send boundaries. *)
+  let spread (sc : Scenario.t) ~decisions ~n mk =
+    List.init n (fun i ->
+        let at = max 1 (decisions * (2 * n + (i * 6)) / (n * 10)) in
+        let tid = i mod sc.Scenario.nclients in
+        mk ~at ~tid)
+
+  let drop sc ~decisions ~n =
+    spread sc ~decisions ~n (fun ~at ~tid ->
+        { Sim.fe_at = at; fe_tid = tid; fe_fault = Sim.F_msg Sim.Msg_drop })
+
+  let dup sc ~decisions ~n =
+    spread sc ~decisions ~n (fun ~at ~tid ->
+        { Sim.fe_at = at; fe_tid = tid; fe_fault = Sim.F_msg Sim.Msg_dup })
+
+  let delay sc ~decisions ~n =
+    spread sc ~decisions ~n (fun ~at ~tid ->
+        { Sim.fe_at = at; fe_tid = tid; fe_fault = Sim.F_msg (Sim.Msg_delay 2) })
+
+  (* Gray failure: shard 0's primary's socket runs its memory accesses
+     [factor] slower for a window in the middle of the run — the
+     breaker/deadline machinery, not the fault engine, has to notice. *)
+  let slow_shard ?(factor = 8.0) (sc : Scenario.t) ~platform ~decisions =
+    let tid = Cluster.primary_tid sc 0 in
+    let socket = P.socket_of platform tid in
+    [
+      {
+        Sim.fe_at = max 1 (decisions / 4);
+        fe_tid = socket;
+        fe_fault = Sim.F_numa_slow { factor; window = max 1 (decisions / 2) };
+      };
+    ]
+
+  (** [plan name sc ~platform ~decisions] — the named fault plan of the
+      resilience matrix, scaled to the calibrated decision count.  On a
+      restart scenario the rolling {!restart_plan} crashes are composed
+      on top by {!run}, so e.g. ("drop" x rolling-restart) exercises
+      message loss during fail-over. *)
+  let plan name (sc : Scenario.t) ~platform ~decisions =
+    let n = max 4 (Scenario.total_ops sc / 16) in
+    match name with
+    | "none" -> []
+    | "drop" -> drop sc ~decisions ~n
+    | "dup" -> dup sc ~decisions ~n
+    | "delay" -> delay sc ~decisions ~n
+    | "slow-shard" -> slow_shard sc ~platform ~decisions
+    | other -> invalid_arg (Printf.sprintf "unknown fault matrix entry %S" other)
+
+  let names = [ "none"; "drop"; "dup"; "delay"; "slow-shard" ]
+end
+
+(** [run ?seed ?model ?platform ?check ?spotcheck ?resil ?fault_plan sc]
+    executes scenario [sc] and returns every service metric of the run.
+    [check] (default: on) runs post-run structural validation and
+    conservation — plus the delivery oracles when [resil] is enabled;
     [spotcheck] additionally records shard 0's applied operations as a
     history and checks it for linearizability (keep the per-key
-    operation count under {!History.max_ops_per_key}). *)
+    operation count under {!History.max_ops_per_key}).
+
+    [resil] (default: disabled, the bit-for-bit legacy path) switches
+    the cluster to the resilient request layer.  [fault_plan], given the
+    calibrated fault-free decision count, returns extra fault events —
+    typically a {!Fault_matrix} plan — which are composed with the
+    scenario's own rolling-restart crashes; providing one forces the
+    calibrate-then-fault double execution even on restart-free
+    scenarios. *)
 let run ?(seed = 1) ?(model = Sim.default_model) ?(platform = P.xeon20) ?(check = true)
-    ?(spotcheck = false) (sc : Scenario.t) =
+    ?(spotcheck = false) ?(resil = Resilience.disabled) ?fault_plan (sc : Scenario.t) =
   let (module A : Ascy_core.Set_intf.MAKER) = (Registry.by_name sc.Scenario.algo).Registry.maker in
   let module C = Cluster.Make (Sim.Mem) (A) in
   let nthreads = Scenario.nthreads sc in
   let run_once ~faults ~want_result =
     let cfg = { (Engine.default ~platform ~nthreads) with seed; model; faults } in
     Engine.with_session cfg (fun session ->
-        let t = C.create sc in
+        let t = C.create ~resil sc in
         C.prefill t ~seed;
         Sim.warm session.Engine.sim;
         let history = if spotcheck && want_result then Some (History.create ()) else None in
@@ -118,6 +188,7 @@ let run ?(seed = 1) ?(model = Sim.default_model) ?(platform = P.xeon20) ?(check 
             Cluster.now = (fun () -> Sim.now ());
             cycle_ns = 1.0 /. platform.P.ghz;
             record;
+            poll_fault = (fun () -> Sim.poll_msg_fault ());
           }
         in
         let makespan = Engine.run session (C.bodies t ~knobs ~seed) in
@@ -140,7 +211,13 @@ let run ?(seed = 1) ?(model = Sim.default_model) ?(platform = P.xeon20) ?(check 
                   | l -> l)
               crashed
           in
-          let violation = if check then C.check t ~crashed_inflight else None in
+          let violation =
+            if not check then None
+            else
+              match C.check t ~crashed_inflight with
+              | Some _ as v -> v
+              | None -> C.check_delivery t
+          in
           let linearizable =
             match history with
             | None -> None
@@ -200,19 +277,25 @@ let run ?(seed = 1) ?(model = Sim.default_model) ?(platform = P.xeon20) ?(check 
               linearizable;
               final_size = C.total_size t;
               stats;
+              resil;
+              rmetrics = C.resil_metrics t;
             }
           in
           (Some result, decisions)
         end)
   in
-  if not sc.Scenario.restarts then
+  if (not sc.Scenario.restarts) && Option.is_none fault_plan then
     match run_once ~faults:[] ~want_result:true with
     | Some r, _ -> r
     | None, _ -> assert false
   else begin
-    (* calibrate the decision count fault-free, then crash primaries *)
+    (* calibrate the decision count fault-free, then compose the
+       scenario's rolling-restart crashes with the caller's plan *)
     let _, decisions = run_once ~faults:[] ~want_result:false in
-    let faults = restart_plan sc ~decisions in
+    let faults =
+      (if sc.Scenario.restarts then restart_plan sc ~decisions else [])
+      @ (match fault_plan with Some f -> f ~decisions | None -> [])
+    in
     match run_once ~faults ~want_result:true with
     | Some r, _ -> r
     | None, _ -> assert false

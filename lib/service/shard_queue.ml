@@ -26,6 +26,13 @@
     transfer hands a request from producer to consumer); [head] and
     [tail] live on their own lines. *)
 
+(** Outcome of a non-blocking {!Make.try_enqueue}: [Enqueued w] carries
+    the number of claim retries (contention, not fullness — the analog
+    of {!Make.enqueue}'s wait count), [Overloaded] means the ring was
+    full and the request was {e not} accepted.  Shared across [Mem]
+    instantiations so harness code can pattern-match generically. *)
+type enq_result = Enqueued of int | Overloaded
+
 module Make (Mem : Ascy_mem.Memory.S) = struct
   type 'a t = {
     cap : int;
@@ -78,10 +85,39 @@ module Make (Mem : Ascy_mem.Memory.S) = struct
     let h = Mem.get q.head in
     Mem.set q.head (h + 1)
 
+  (** [try_enqueue q v] publishes [v] unless the ring is full, in which
+      case it returns {!Overloaded} {e without} claiming a ticket —
+      explicit backpressure instead of {!enqueue}'s producer spin.
+
+      Fullness must be decided {e before} the claim: a producer that
+      FAA-claimed a ticket and then abandoned it would wedge the ring
+      (the consumer peeks tickets in order and would wait forever on the
+      never-published slot).  So the claim is a [cas] on [tail] guarded
+      by the fullness test; [head] only ever advances, so a ticket that
+      passed the test when claimed still owns a free slot. *)
+  let try_enqueue q v =
+    let rec claim waits =
+      let t = Mem.get q.tail in
+      if Mem.get q.head + q.cap <= t then Overloaded
+      else if Mem.cas q.tail t (t + 1) then begin
+        let i = t mod q.cap in
+        Mem.set q.slots.(i) (Some v);
+        Mem.set q.ready.(i) (t + 1);
+        Enqueued waits
+      end
+      else claim (waits + 1)
+    in
+    claim 0
+
   (** No ticket left unconsumed.  Meaningful once producers are done
       (the service closes shards only after every client finished). *)
   let is_empty q = Mem.get q.head >= Mem.get q.tail
 
-  (** Published-but-unconsumed backlog (approximate under concurrency). *)
+  (** Published-but-unconsumed backlog (approximate under concurrency).
+      This is the queue-depth signal the resilience layer's breaker and
+      load-shed policies read. *)
   let length q = max 0 (Mem.get q.tail - Mem.get q.head)
+
+  (** Ring capacity (the [~cap] it was created with). *)
+  let capacity q = q.cap
 end

@@ -77,6 +77,8 @@ let synthetic_result () : Service_run.result =
         power_w = 500.0;
         events = Array.init Ascy_mem.Event.count (fun i -> i);
       };
+    resil = Ascy_service.Resilience.disabled;
+    rmetrics = Ascy_service.Resilience.fresh_metrics ();
   }
 
 let () =

@@ -63,6 +63,35 @@ let partition_deterministic name () =
     (r1.Par.p_report.Explorer.complete && r4.Par.p_report.Explorer.complete);
   Alcotest.(check int) "identical task fixed point" r1.Par.p_tasks r4.Par.p_tasks
 
+(* The 3-thread fuzz spec that exposed (and now regression-tests) the
+   bst-howley splice-resurrection bug: the repaired protocol must stay
+   clean under the partitioned DPOR at any domain count, with the
+   identical exhausted space. *)
+let fuzz name =
+  Sct.mk_spec ~name ~initial:[ 2 ]
+    ~script:
+      [|
+        [| (Sct.Insert, 1); (Sct.Remove, 2); (Sct.Insert, 3) |];
+        [| (Sct.Insert, 1); (Sct.Insert, 2); (Sct.Remove, 3) |];
+        [| (Sct.Remove, 1); (Sct.Insert, 2) |];
+      |]
+    ()
+
+let test_howley_fuzz_partition_invariant () =
+  let spec = fuzz "bst-howley" in
+  let maker = (Registry.by_name spec.Sct.name).Registry.maker in
+  let run ~sched =
+    Sct.run_once ~model:(Ascy_mem.Sim.model_of_name "flat") maker spec ~sched
+  in
+  let explore domains = Par.explore ~bounds:Explorer.default_bounds ~domains ~run () in
+  let r1 = explore 1 and r4 = explore 4 in
+  Alcotest.(check bool) "clean at 1 domain" true (r1.Par.p_report.Explorer.failure = None);
+  Alcotest.(check bool) "clean at 4 domains" true (r4.Par.p_report.Explorer.failure = None);
+  Alcotest.(check int) "identical schedule-space size"
+    r1.Par.p_report.Explorer.schedules r4.Par.p_report.Explorer.schedules;
+  Alcotest.(check bool) "both complete" true
+    (r1.Par.p_report.Explorer.complete && r4.Par.p_report.Explorer.complete)
+
 (* On a failing spec every domain count must report the byte-identical
    canonical counterexample (recomputed sequentially), and it must be
    the one the plain sequential explorer finds. *)
@@ -199,6 +228,8 @@ let suite =
       (partition_deterministic "bst-tk");
     Alcotest.test_case "canonical counterexample across domain counts" `Quick
       test_canonical_counterexample;
+    Alcotest.test_case "bst-howley fuzz clean across domain counts" `Quick
+      test_howley_fuzz_partition_invariant;
     Alcotest.test_case "random partition: clean spec, invariant budget" `Quick
       test_random_partition_clean;
     Alcotest.test_case "random partition: invariant counterexample" `Quick

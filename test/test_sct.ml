@@ -238,6 +238,27 @@ let test_pct_effectful_spin_fairness () =
         65 report.Explorer.schedules)
     [ "sl-herlihy"; "bst-tk" ]
 
+(* The fuzz workload used to break bst-howley: a stale splice helper,
+   unable to tell that another helper's unlink had already landed,
+   released the frozen node back to [Clean] after it was unlinked — an
+   insert could then attach a child to the unreachable node and report
+   success (set conservation: net 2, membership 1).  The fix gives the
+   splice record one shared unlink-outcome cell.  Exhaustive DPOR over
+   the repaired protocol proves the whole 3-thread space clean, and
+   pinning its size turns any future protocol change into a moved
+   number rather than a silent re-shaping of the space. *)
+let test_howley_fuzz_space_clean_and_pinned () =
+  let finding, report =
+    Sct.explore ~mode:Explorer.Dpor
+      ~model:(Ascy_mem.Sim.model_of_name "flat")
+      (fuzz "bst-howley")
+  in
+  (match finding with
+  | Some f -> Alcotest.fail ("bst-howley violated: " ^ f.Sct.min_violation)
+  | None -> ());
+  Alcotest.(check bool) "schedule space exhausted" true report.Explorer.complete;
+  Alcotest.(check int) "schedule-space size pinned" 3415 report.Explorer.schedules
+
 (* PCT's depth guarantee, both directions: at depth 1 there are no
    change points, so every schedule is a serial execution ordered by
    thread priority — a race needing one preemption mid-operation
@@ -323,6 +344,8 @@ let suite =
       test_pct_effectful_spin_fairness;
     Alcotest.test_case "pct depth guarantee: missed at d-1, found at d" `Quick
       test_pct_depth_guarantee;
+    Alcotest.test_case "bst-howley fuzz space clean and pinned" `Quick
+      test_howley_fuzz_space_clean_and_pinned;
     Alcotest.test_case "incomplete flag propagates into report JSON" `Quick
       test_incomplete_flag_propagates;
   ]

@@ -13,6 +13,8 @@ module Scenario = Ascy_service.Scenario
 module Service_run = Ascy_service.Service_run
 module Service_native = Ascy_service.Service_native
 module Service_results = Ascy_service.Service_results
+module Resilience = Ascy_service.Resilience
+module P = Ascy_platform.Platform
 
 (* ------------------------------------------------------------------ *)
 (* Router                                                              *)
@@ -83,6 +85,38 @@ let test_queue_fifo () =
   drain ();
   Alcotest.(check (list int)) "fifo across wrap" [ 3; 4; 5; 6 ] (List.rev !got);
   Alcotest.(check bool) "drained empty" true (Q.is_empty q)
+
+(* try_enqueue: explicit backpressure instead of the producer spin — a
+   full ring answers Overloaded without claiming a ticket, so no ghost
+   ticket can ever wedge the consumer. *)
+let test_queue_try_enqueue_overloaded () =
+  let q = Q.create ~cap:2 in
+  Alcotest.(check int) "capacity" 2 (Q.capacity q);
+  (match Q.try_enqueue q 1 with
+  | Ascy_service.Shard_queue.Enqueued 0 -> ()
+  | _ -> Alcotest.fail "uncontended enqueue must claim without retries");
+  (match Q.try_enqueue q 2 with
+  | Ascy_service.Shard_queue.Enqueued _ -> ()
+  | _ -> Alcotest.fail "second slot must accept");
+  Alcotest.(check bool) "full ring rejects" true
+    (Q.try_enqueue q 3 = Ascy_service.Shard_queue.Overloaded);
+  Alcotest.(check int) "depth signal at cap" 2 (Q.length q);
+  Alcotest.(check bool) "rejected item never visible" true (Q.peek q = Some 1);
+  Q.commit q;
+  (match Q.try_enqueue q 3 with
+  | Ascy_service.Shard_queue.Enqueued _ -> ()
+  | _ -> Alcotest.fail "freed slot must accept");
+  let got = ref [] in
+  let rec drain () =
+    match Q.peek q with
+    | Some v ->
+        got := v :: !got;
+        Q.commit q;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo across a rejection, no ghost ticket" [ 2; 3 ] (List.rev !got)
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end scenario runs (smoke scale)                              *)
@@ -163,6 +197,148 @@ let test_native_smoke () =
     (Array.fold_left ( + ) 0 r.Service_native.per_shard_applied)
 
 (* ------------------------------------------------------------------ *)
+(* Resilient request layer                                             *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_plan name sc ~decisions = Service_run.Fault_matrix.plan name sc ~platform:P.xeon20 ~decisions
+
+(* Retry/backoff jitter draws from an Xorshift stream split off the run
+   seed, so a faulted run — drops forcing deadline misses, backoffs,
+   re-submissions — must still serialize to the same bytes twice. *)
+let test_resil_retry_determinism () =
+  let once () =
+    let r =
+      Service_run.run ~seed:21 ~resil:Resilience.default
+        ~fault_plan:(matrix_plan "drop" (smoke "read-mostly"))
+        (smoke "read-mostly")
+    in
+    (J.to_string (Service_results.of_run ~label:"resil-det" r), r.Service_run.rmetrics)
+  in
+  let s1, m1 = once () in
+  let s2, m2 = once () in
+  Alcotest.(check string) "same seed, same bytes under drops + retries" s1 s2;
+  Alcotest.(check bool) "drops enacted" true (m1.Resilience.m_fault_drops > 0);
+  Alcotest.(check bool) "retries exercised the jittered backoff" true
+    (m1.Resilience.m_retries > 0);
+  Alcotest.(check int) "retry count replays exactly" m1.Resilience.m_retries
+    m2.Resilience.m_retries
+
+(* The closed -> open -> half-open -> closed cycle of the breaker state
+   machine, plus the failed-probe re-open and the trip counter. *)
+let test_breaker_cycle () =
+  let b = Resilience.mk_breaker { Resilience.trip_after = 2; cooldown = 100; probes = 2 } in
+  Alcotest.(check string) "starts closed" "closed" (Resilience.state_name b);
+  Alcotest.(check bool) "closed admits" true (Resilience.allow b ~now:0);
+  Resilience.on_failure b ~now:10;
+  Alcotest.(check string) "below threshold stays closed" "closed" (Resilience.state_name b);
+  Resilience.on_failure b ~now:20;
+  Alcotest.(check string) "consecutive failures trip it open" "open" (Resilience.state_name b);
+  Alcotest.(check bool) "open rejects before cooldown" false (Resilience.allow b ~now:50);
+  Alcotest.(check bool) "cooldown elapses: probe admitted" true (Resilience.allow b ~now:130);
+  Alcotest.(check string) "half-open" "half-open" (Resilience.state_name b);
+  Alcotest.(check bool) "second probe admitted" true (Resilience.allow b ~now:131);
+  Alcotest.(check bool) "probe budget exhausted" false (Resilience.allow b ~now:132);
+  Resilience.on_success b;
+  Alcotest.(check string) "successful probe closes" "closed" (Resilience.state_name b);
+  Resilience.on_failure b ~now:200;
+  Resilience.on_failure b ~now:201;
+  Alcotest.(check string) "re-trips" "open" (Resilience.state_name b);
+  Alcotest.(check bool) "probe after second cooldown" true (Resilience.allow b ~now:400);
+  Resilience.on_failure b ~now:401;
+  Alcotest.(check string) "failed probe re-opens immediately" "open" (Resilience.state_name b);
+  Alcotest.(check int) "every trip counted" 3 b.Resilience.b_trips
+
+(* Gray failure end-to-end: a slowed shard socket makes deadlines miss,
+   the per-shard breaker trips, and — because the slow window ends —
+   the service recovers and the run still passes every oracle. *)
+let test_breaker_trips_under_slow_shard () =
+  let sc = smoke "read-mostly" in
+  (* deadline sits a few x above the fault-free p999 sojourn (~1k cycles)
+     and far below the 32x-slowed one, so misses come from the gray
+     failure, not from baseline noise *)
+  let rcfg =
+    {
+      Resilience.default with
+      Resilience.deadline = 4_000;
+      hedge_after = 0;
+      retry = { Resilience.max_attempts = 3; backoff_base = 500; backoff_mult = 2; jitter = 250 };
+      breaker = Some { Resilience.trip_after = 3; cooldown = 20_000; probes = 2 };
+    }
+  in
+  let fault_plan ~decisions =
+    Service_run.Fault_matrix.slow_shard ~factor:32.0 sc ~platform:P.xeon20 ~decisions
+  in
+  let r = Service_run.run ~seed:13 ~resil:rcfg ~fault_plan sc in
+  let m = r.Service_run.rmetrics in
+  Alcotest.(check (option string)) "oracles clean through the gray failure" None
+    r.Service_run.violation;
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline misses observed (got %d)" m.Resilience.m_deadline_miss)
+    true (m.Resilience.m_deadline_miss > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "breaker tripped (got %d)" m.Resilience.m_breaker_trips)
+    true
+    (m.Resilience.m_breaker_trips >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "service recovered: most requests still acked (%d)" m.Resilience.m_acked)
+    true
+    (m.Resilience.m_acked > Scenario.total_ops sc / 2)
+
+(* Duplicate deliveries with the dedup window armed: every duplicate is
+   suppressed drainer-side, each logical op applies exactly once, and
+   the at-most-once oracle stays clean. *)
+let test_dedup_window_suppresses_duplicates () =
+  let sc = smoke "read-mostly" in
+  let r =
+    Service_run.run ~seed:17 ~resil:Resilience.default ~fault_plan:(matrix_plan "dup" sc) sc
+  in
+  let m = r.Service_run.rmetrics in
+  Alcotest.(check (option string)) "at-most-once holds with dedup on" None
+    r.Service_run.violation;
+  Alcotest.(check bool) "duplicates were injected" true (m.Resilience.m_fault_dups > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "every injected duplicate suppressed (%d dups, %d suppressed)"
+       m.Resilience.m_fault_dups m.Resilience.m_dup_suppressed)
+    true
+    (m.Resilience.m_dup_suppressed >= m.Resilience.m_fault_dups);
+  Alcotest.(check int) "each logical op applied exactly once" r.Service_run.ops_requested
+    r.Service_run.ops_applied
+
+(* Oracle teeth: the same duplicated-delivery run with the dedup window
+   disabled must FAIL at-most-once — proving the oracle detects real
+   double-applies rather than vacuously passing. *)
+let test_at_most_once_oracle_has_teeth () =
+  let sc = smoke "read-mostly" in
+  let no_dedup = { Resilience.default with Resilience.dedup_window = 0 } in
+  let r = Service_run.run ~seed:17 ~resil:no_dedup ~fault_plan:(matrix_plan "dup" sc) sc in
+  match r.Service_run.violation with
+  | Some v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "violation names at-most-once: %s" v)
+        true
+        (let rec find i =
+           i + 12 <= String.length v && (String.sub v i 12 = "at-most-once" || find (i + 1))
+         in
+         find 0)
+  | None -> Alcotest.fail "dedup disabled + duplicated deliveries must violate at-most-once"
+
+(* Drops + retries under the full adversarial plan: at-most-once must
+   hold (retries carry the same idempotency token) and every client-acked
+   request must really have applied (no-lost-ack). *)
+let test_drop_retry_at_most_once () =
+  let sc = smoke "churn-heavy" in
+  let r =
+    Service_run.run ~seed:23 ~resil:Resilience.default ~fault_plan:(matrix_plan "drop" sc) sc
+  in
+  let m = r.Service_run.rmetrics in
+  Alcotest.(check (option string)) "delivery oracles clean under drop + retry" None
+    r.Service_run.violation;
+  Alcotest.(check bool) "drops enacted" true (m.Resilience.m_fault_drops > 0);
+  Alcotest.(check bool) "acked + gave-up partition the sessions' requests" true
+    (m.Resilience.m_acked + m.Resilience.m_gave_up + m.Resilience.m_sheds
+    >= Scenario.total_ops sc)
+
+(* ------------------------------------------------------------------ *)
 (* Golden-pinned record schema                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -234,6 +410,8 @@ let synthetic_result () : Service_run.result =
         power_w = 500.0;
         events = Array.init Ascy_mem.Event.count (fun i -> i);
       };
+    resil = Ascy_service.Resilience.disabled;
+    rmetrics = Ascy_service.Resilience.fresh_metrics ();
   }
 
 let test_record_roundtrip () =
@@ -279,6 +457,7 @@ let suite =
     Alcotest.test_case "router: covers all shards" `Quick test_router_covers_all_shards;
     Alcotest.test_case "router: policy names roundtrip" `Quick test_router_names;
     Alcotest.test_case "queue: fifo peek/commit across wrap" `Quick test_queue_fifo;
+    Alcotest.test_case "queue: try_enqueue backpressure" `Quick test_queue_try_enqueue_overloaded;
     Alcotest.test_case "run: seeded determinism" `Quick test_seeded_determinism;
     Alcotest.test_case "run: seed changes schedule" `Quick test_seed_matters;
     Alcotest.test_case "run: rolling restart conserves keys" `Quick test_rolling_restart_conserves;
@@ -287,6 +466,16 @@ let suite =
     Alcotest.test_case "run: pinned skew lands on shard 0" `Quick test_pinned_skew_lands_on_shard0;
     Alcotest.test_case "run: counters partition applied ops" `Quick test_counters_add_up;
     Alcotest.test_case "native: smoke run clean" `Quick test_native_smoke;
+    Alcotest.test_case "resil: retry/backoff byte determinism" `Quick test_resil_retry_determinism;
+    Alcotest.test_case "resil: breaker state cycle" `Quick test_breaker_cycle;
+    Alcotest.test_case "resil: breaker trips under slow shard" `Quick
+      test_breaker_trips_under_slow_shard;
+    Alcotest.test_case "resil: dedup window suppresses duplicates" `Quick
+      test_dedup_window_suppresses_duplicates;
+    Alcotest.test_case "resil: at-most-once oracle has teeth" `Quick
+      test_at_most_once_oracle_has_teeth;
+    Alcotest.test_case "resil: drop+retry keeps at-most-once" `Quick
+      test_drop_retry_at_most_once;
     Alcotest.test_case "results: record roundtrip" `Quick test_record_roundtrip;
     Alcotest.test_case "results: golden file" `Quick test_service_golden_file;
   ]
