@@ -19,6 +19,15 @@
    Array stores [a.(i) <- v] are allowed: the backends wrap arrays of
    [Mem.r] cells, and plain arrays in the tree are per-thread scratch.
 
+   Rule C — no k-CAS descriptor internals outside the backends.  The
+   multi-word-CAS protocol (RDCSS sub-descriptors, status words,
+   helping) lives entirely behind [Memory.S.kcas]; its identifiers all
+   carry the [kdx_]/[Kdx_] prefix and are confined to the two backend
+   files that implement the operation.  CSDS code that pattern-matches a
+   descriptor or forges one would depend on one backend's encoding and
+   silently diverge on the other, so any [kdx_]-prefixed token elsewhere
+   under lib/ is a finding.
+
    The scanner lexes enough OCaml to skip comments (nested, with
    embedded strings), string literals (escapes and {|quoted|} forms)
    and character literals, so prose never triggers a finding.
@@ -50,6 +59,11 @@ let rule_b_dirs =
     "lib/rcu";
     "lib/ssmem";
   ]
+
+(* the only two files allowed to spell out k-CAS descriptor internals:
+   the native RDCSS/k-CAS implementation and the simulator's atomic
+   multi-line commit *)
+let rule_c_whitelist = [ "lib/mem/backend/mem_native.ml"; "lib/mem/core/sim.ml" ]
 
 let raw_modules =
   [ "Atomic"; "Mutex"; "Condition"; "Domain"; "Thread"; "Semaphore" ]
@@ -279,6 +293,29 @@ let check_rule_b path text =
         else incr pos
       done)
 
+let check_rule_c path text =
+  iter_lines text (fun lineno line ->
+      List.iter
+        (fun pat ->
+          let plen = String.length pat in
+          let len = String.length line in
+          let pos = ref 0 in
+          while !pos + plen <= len do
+            if
+              String.sub line !pos plen = pat
+              && (!pos = 0 || not (is_ident_char line.[!pos - 1]))
+            then
+              report path lineno
+                (Printf.sprintf
+                   "k-CAS descriptor internal [%s...] outside the backends — \
+                    build multi-word updates from Mem.kcas_op/Mem.kcas only; \
+                    descriptor encodings are private to %s"
+                   pat
+                   (String.concat " and " rule_c_whitelist));
+            incr pos
+          done)
+        [ "kdx_"; "Kdx_" ])
+
 let rec walk dir f =
   Array.iter
     (fun name ->
@@ -321,7 +358,8 @@ let () =
         done;
         !found
       in
-      if in_rule_b_scope && not has_pragma then check_rule_b path text)
+      if in_rule_b_scope && not has_pragma then check_rule_b path text;
+      if not (List.mem path rule_c_whitelist) then check_rule_c path text)
     files;
   match List.rev !findings with
   | [] ->

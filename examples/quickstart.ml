@@ -40,7 +40,7 @@ let () =
   | Ok () -> print_endline "structure validates: ok"
   | Error e -> failwith e);
 
-  (* the same code runs on ANY of the 33 implementations via the registry *)
+  (* the same code runs on ANY of the 35 implementations via the registry *)
   let module E = (val (Ascylib.Registry.by_name "sl-fraser-opt").Ascylib.Registry.maker) in
   let module Sl = E (Ascy_mem.Mem_native) in
   let sl = Sl.create () in

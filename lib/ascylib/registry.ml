@@ -1,6 +1,7 @@
 (** The catalogue of every CSDS implementation in ASCYLIB-OCaml —
-    Table 1 of the paper plus the ASCY re-engineered variants and the two
-    from-scratch designs (CLHT, BST-TK).
+    Table 1 of the paper plus the ASCY re-engineered variants, the two
+    from-scratch designs (CLHT, BST-TK), and the PathCAS family built on
+    the multi-word-CAS memory layer ({!Ascy_mem.Memory.S.kcas}).
 
     Each entry carries the synchronization class, a short description
     (Table 1's wording), and the ASCY compliance vector under the default
@@ -58,6 +59,9 @@ let linked_lists =
     e "ll-harris-opt" Linked_list Lock_free full
       "harris re-engineered with ASCY1-2: wait-free search, never-restarting parse"
       (module Ascy_linkedlist.Harris_opt.Make);
+    e "ll-pathcas" Linked_list Lock_free full
+      "PathCAS: version-stamped parse; one k-CAS validates the path and swings the pointer"
+      (module Ascy_linkedlist.Pathcas_ll.Make);
   ]
 
 let hash_tables =
@@ -144,9 +148,12 @@ let bsts =
     e "bst-tk" Bst Lock_based full
       "NEW (paper 6.2): external with per-edge ticket locks; 1 lock per insert, 2 per remove"
       (module Ascy_bst.Bst_tk.Make);
+    e "bst-pathcas" Bst Lock_free full
+      "PathCAS external BST: stamped routers; one k-CAS per insert (2 words) or splice (3 words)"
+      (module Ascy_bst.Pathcas_bst.Make);
   ]
 
-(** All 33 implementations, grouped as in Table 1. *)
+(** All 35 implementations, grouped as in Table 1. *)
 let all = linked_lists @ hash_tables @ skip_lists @ bsts
 
 let by_name name =

@@ -58,6 +58,9 @@ let action_str = function
       Printf.sprintf "%s@line%d"
         (match k with Sim.Read -> "read" | Sim.Write -> "write" | Sim.Rmw -> "rmw")
         line
+  | Sim.A_kcas lines ->
+      Printf.sprintf "kcas@lines[%s]"
+        (String.concat "," (Array.to_list (Array.map string_of_int lines)))
 
 let fault_str fe =
   match fe.Sim.fe_fault with
@@ -263,7 +266,7 @@ let crash_candidates ?(max_candidates = 48) ?model ~victim (spec : spec) =
   let on_step ~step ~runnable ~chosen =
     if chosen = victim && List.length !cands < max_candidates then
       match Scheduler.action_of chosen runnable with
-      | Sim.A_access ((Sim.Write | Sim.Rmw), _) -> cands := (step + 1) :: !cands
+      | Sim.A_access ((Sim.Write | Sim.Rmw), _) | Sim.A_kcas _ -> cands := (step + 1) :: !cands
       | _ -> ()
   in
   ignore (run_spec ~on_step ~check:false ?model ~faults:[] spec);

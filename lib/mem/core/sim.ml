@@ -46,8 +46,10 @@ type action = Simtypes.action =
   | A_start
   | A_access of access_kind * int
   | A_work of int
+  | A_kcas of int array
 
 let dependent = Simtypes.dependent
+let kcas_touches = Simtypes.kcas_touches
 
 type runnable = Simtypes.runnable = {
   mutable rn : int;
@@ -130,6 +132,7 @@ let model_names () = Models.names
 type pending =
   | P_access of access_kind * int
   | P_work of int
+  | P_kcas of int array (* multi-word CAS: one atomic commit, charged per line *)
   | P_none
 
 type step = Finished | Blocked
@@ -315,14 +318,17 @@ let trace_push sim tid cycle ev =
    observer notification, instruction overhead and its energy, NUMA
    fault scaling, trace, jitter); the installed coherence model charges
    the service class, its energy, any atomic surcharge, and mutates its
-   own line state. *)
-let access_cost sim th kind line =
+   own line state.  [~notify:false] suppresses only the observer
+   callback: a k-CAS commit charges its lines here but reports each
+   access/outcome pair itself, in order, from the commit code. *)
+let access_cost ?(notify = true) sim th kind line =
   let p = sim.plat in
   let s = th.socket in
   let cnt = sim.counters.(th.tid) in
   cnt.accesses <- cnt.accesses + 1;
   (match kind with Write -> cnt.writes <- cnt.writes + 1 | Read | Rmw -> ());
-  (match sim.observer with Some o -> o.obs_access th.tid kind line | None -> ());
+  (if notify then
+     match sim.observer with Some o -> o.obs_access th.tid kind line | None -> ());
   let (Cohmodel.Inst ((module C), cm)) = sim.coh in
   let lat, tcls = C.access cm cnt ~core:th.core ~socket:s kind line in
   (* transient NUMA degradation: scale the memory latency (not the
@@ -342,7 +348,12 @@ let access_cost sim th kind line =
 (* Effects & the MEMORY instance                                       *)
 (* ------------------------------------------------------------------ *)
 
-type _ Effect.t += Access : access_kind * int -> unit Effect.t | Work_eff : int -> unit Effect.t
+type _ Effect.t +=
+  | Access : access_kind * int -> unit Effect.t
+  | Work_eff : int -> unit Effect.t
+  | Kcas_eff : int array -> unit Effect.t
+        (** multi-word CAS commit point; the array holds the touched
+            lines, sorted and distinct *)
 
 exception Txn_abort
 
@@ -452,6 +463,76 @@ module Mem : Memory.S with type line = int = struct
     r.v <- old + n;
     notify_rmw true;
     old
+
+  (* Multi-word CAS.  The descriptor internals carry the [kdx_] prefix
+     ([ascy_lint] rule C confines it to the backend files).  One
+     [Kcas_eff] effect is the single scheduling point: the compare, the
+     writes and the observer notifications all happen atomically after
+     the scheduler resumes us, exactly like the post-effect body of
+     [cas], so the commit is one indivisible multi-line step whose
+     coherence cost was charged per line at the commit decision. *)
+  type kcas_op = Kdx_op : { kdx_cell : 'a r; kdx_exp : 'a; kdx_des : 'a } -> kcas_op
+
+  let kcas_op r ~expected ~desired = Kdx_op { kdx_cell = r; kdx_exp = expected; kdx_des = desired }
+
+  let kdx_check_dup ops =
+    let cells = List.map (fun op -> match op with Kdx_op o -> Obj.repr o.kdx_cell) ops in
+    let rec dup = function
+      | [] -> false
+      | c :: rest -> List.exists (fun c' -> c' == c) rest || dup rest
+    in
+    if dup cells then invalid_arg "Memory.kcas: duplicate cell"
+
+  let kdx_lines ops =
+    Array.of_list
+      (List.sort_uniq compare (List.map (fun op -> match op with Kdx_op o -> o.kdx_cell.line) ops))
+
+  let kdx_match ops =
+    List.for_all (fun op -> match op with Kdx_op o -> o.kdx_cell.v == o.kdx_exp) ops
+
+  let kdx_write ops =
+    List.iter
+      (fun op ->
+        match op with
+        | Kdx_op o ->
+            log_undo o.kdx_cell;
+            o.kdx_cell.v <- o.kdx_des)
+      ops
+
+  let kdx_apply ops =
+    let ok = kdx_match ops in
+    if ok then kdx_write ops;
+    ok
+
+  let cas_of_op op = match op with Kdx_op o -> cas o.kdx_cell o.kdx_exp o.kdx_des
+
+  let kcas ops =
+    match ops with
+    | [] -> true
+    | [ op ] -> cas_of_op op (* a 1-CAS is a CAS, with identical accounting *)
+    | _ -> (
+        kdx_check_dup ops;
+        match !(current ()) with
+        | Some sim when sim.cur >= 0 -> (
+            let lines = kdx_lines ops in
+            match sim.txn with
+            | Some tx ->
+                (* buffered like any transactional RMW, one per line *)
+                Array.iter (fun line -> txn_access sim tx Rmw line) lines;
+                kdx_apply ops
+            | None ->
+                Effect.perform (Kcas_eff lines);
+                let ok = kdx_apply ops in
+                (match sim.observer with
+                | Some o ->
+                    Array.iter
+                      (fun line ->
+                        o.obs_access sim.cur Rmw line;
+                        o.obs_rmw sim.cur ok)
+                      lines
+                | None -> ());
+                ok)
+        | _ -> kdx_apply ops (* setup/prefill: free, like every access *))
 
   let touch line = access Read line
 
@@ -639,6 +720,14 @@ let run ?scheduler ?(faults = []) sim bodies =
                   th.act <- A_work n;
                   th.cont <- Some k;
                   Blocked)
+          | Kcas_eff lines ->
+              Some
+                (fun (k : (a, step) Effect.Deep.continuation) ->
+                  let th = sim.threads.(sim.cur) in
+                  th.pend <- P_kcas lines;
+                  th.act <- A_kcas lines;
+                  th.cont <- Some k;
+                  Blocked)
           | _ -> None);
     }
   in
@@ -662,6 +751,14 @@ let run ?scheduler ?(faults = []) sim bodies =
           (match th.pend with
           | P_access (kind, line) -> th.clock <- th.clock + access_cost sim th kind line
           | P_work n -> th.clock <- th.clock + int_of_float (float_of_int n *. th.instr_scale)
+          | P_kcas lines ->
+              (* one atomic commit, but every touched line pays its own
+                 RMW coherence cost under the installed model; the
+                 observer hears each access/outcome pair from the commit
+                 code instead, which knows the outcome *)
+              Array.iter
+                (fun line -> th.clock <- th.clock + access_cost ~notify:false sim th Rmw line)
+                lines
           | P_none -> ());
           th.pend <- P_none;
           match th.cont with

@@ -17,18 +17,30 @@ type access_kind = Read | Write | Rmw
 (** What a runnable thread will do when next resumed (one-step
     lookahead).  [A_start] means the thread's body has not run yet, so
     its first action is unknown; starting a thread performs no shared
-    access and is independent of everything. *)
-type action = A_start | A_access of access_kind * int | A_work of int
+    access and is independent of everything.  [A_kcas] is a multi-word
+    CAS commit: one atomic step that reads {e and may write} every line
+    in the (sorted, distinct) array. *)
+type action = A_start | A_access of access_kind * int | A_work of int | A_kcas of int array
+
+(* [lines] is sorted ascending, so membership can stop early. *)
+let kcas_touches lines l =
+  let n = Array.length lines in
+  let rec go i = i < n && lines.(i) <= l && (lines.(i) = l || go (i + 1)) in
+  go 0
 
 (** [dependent a b] — can the order of [a] and [b] (by different
     threads) affect the memory state or either thread's results?  Two
     accesses conflict iff they touch the same line and at least one
-    writes; local work and thread starts never conflict.  This is the
-    per-line read/write dependency relation systematic concurrency
-    testing (DPOR) prunes with. *)
+    writes; local work and thread starts never conflict.  A k-CAS
+    commit acts as a read-modify-write of every touched line, so it
+    conflicts with any access to a member line and with any k-CAS whose
+    line set intersects.  This is the per-line read/write dependency
+    relation systematic concurrency testing (DPOR) prunes with. *)
 let dependent a b =
   match (a, b) with
   | A_access (k1, l1), A_access (k2, l2) -> l1 = l2 && not (k1 = Read && k2 = Read)
+  | A_kcas ls, A_access (_, l) | A_access (_, l), A_kcas ls -> kcas_touches ls l
+  | A_kcas ls1, A_kcas ls2 -> Array.exists (kcas_touches ls1) ls2
   | _ -> false
 
 (** The runnable-thread set presented to a controlled scheduler at one

@@ -19,7 +19,12 @@
       the same line contend as a unit in the simulator (false sharing,
       CLHT's single-line buckets).  [touch line] models reading immutable
       data (keys, values) that lives on the line; call it once per node
-      visited during traversals. *)
+      visited during traversals.
+    - [kcas] commits a multi-word CAS: every cell still holds its
+      expected value (physical equality, as for [cas]) and all desired
+      values are installed, or nothing is written.  Natively this is a
+      Harris-style RDCSS/k-CAS with helping; under the simulator it is
+      one atomic multi-line commit charged per touched line. *)
 
 module type S = sig
   type line
@@ -45,6 +50,21 @@ module type S = sig
 
   val fetch_and_add : int r -> int -> int
   (** Atomic fetch-and-add; returns the previous value. *)
+
+  type kcas_op
+  (** One cell/expected/desired triple of a multi-word CAS. *)
+
+  val kcas_op : 'a r -> expected:'a -> desired:'a -> kcas_op
+  (** [kcas_op r ~expected ~desired] — the triple, with the cell's value
+      type hidden so triples over different cell types compose into one
+      commit. *)
+
+  val kcas : kcas_op list -> bool
+  (** [kcas ops] atomically checks that every cell holds its expected
+      value ({e physical} equality, as for {!cas}) and, if so, installs
+      every desired value; otherwise writes nothing.  Returns success.
+      All-or-nothing and linearizable on both backends.  [kcas []] is
+      [true]; the same cell listed twice raises [Invalid_argument]. *)
 
   val touch : line -> unit
   (** Model a read of immutable data residing on [line]. *)

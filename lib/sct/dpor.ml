@@ -100,6 +100,10 @@ let stutter_flags (steps : (int * Sim.action) array) =
     | Sim.A_access ((Sim.Write | Sim.Rmw), l) ->
         Hashtbl.replace version l (wver l + 1);
         Hashtbl.remove last_read tid
+    | Sim.A_kcas lines ->
+        (* a k-CAS commit writes every touched line *)
+        Array.iter (fun l -> Hashtbl.replace version l (wver l + 1)) lines;
+        Hashtbl.remove last_read tid
     | Sim.A_start | Sim.A_work _ -> ()
   done;
   flags

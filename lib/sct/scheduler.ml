@@ -162,6 +162,11 @@ module Spin = struct
     | Sim.A_access ((Sim.Write | Sim.Rmw), line) ->
         Hashtbl.replace t.versions line (version t line + 1);
         Hashtbl.remove t.last_read tid
+    | Sim.A_kcas lines ->
+        (* a k-CAS commit writes every touched line: spinners parked on
+           any of them must be re-promoted *)
+        Array.iter (fun line -> Hashtbl.replace t.versions line (version t line + 1)) lines;
+        Hashtbl.remove t.last_read tid
     | _ -> ()  (* work/backoff steps keep the read streak alive *)
 end
 

@@ -1,4 +1,4 @@
-(* Conformance suites for all eight BST algorithms. *)
+(* Conformance suites for all nine BST algorithms. *)
 
 module B = Ascy_bst
 
@@ -12,4 +12,5 @@ let suites =
     ("bst-howley", Conformance.suite "bst-howley" (module B.Howley.Make));
     ("bst-bronson", Conformance.suite "bst-bronson" (module B.Bronson.Make));
     ("bst-drachsler", Conformance.suite "bst-drachsler" (module B.Drachsler.Make));
+    ("bst-pathcas", Conformance.suite "bst-pathcas" (module B.Pathcas_bst.Make));
   ]

@@ -226,6 +226,8 @@ let suite =
       (partition_deterministic "sl-herlihy");
     Alcotest.test_case "partitioned DPOR deterministic: bst-tk" `Quick
       (partition_deterministic "bst-tk");
+    Alcotest.test_case "partitioned DPOR deterministic: ll-pathcas" `Quick
+      (partition_deterministic "ll-pathcas");
     Alcotest.test_case "canonical counterexample across domain counts" `Quick
       test_canonical_counterexample;
     Alcotest.test_case "bst-howley fuzz clean across domain counts" `Quick

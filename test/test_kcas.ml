@@ -1,0 +1,262 @@
+(* The multi-word-CAS layer (Memory.S.kcas) on both backends.
+
+   Native (Harris RDCSS/k-CAS with helping): semantics, duplicate
+   rejection, the helping path driven directly through the backend's
+   acquire hook (a committer "crash-stopped" mid-commit is finished by
+   the next ordinary access), and a cross-domain transfer stress whose
+   conservation invariant only holds if commits are all-or-nothing.
+
+   Simulator (atomic multi-line commit): the same semantics, the
+   per-line RMW accounting the ASCY4 k-word policy builds on, probe
+   k-CASes that can never witness a half-applied commit, and
+   disjoint-vs-overlapping thread interaction. *)
+
+module N = Ascy_mem.Mem_native
+module Sim = Ascy_mem.Sim
+module SM = Ascy_mem.Sim.Mem
+module P = Ascy_platform.Platform
+
+(* ------------------------------------------------------------------ *)
+(* Native backend                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ncell v = N.make (N.new_line ()) v
+
+let test_native_semantics () =
+  let a = ncell 1 and b = ncell 2 and c = ncell 3 in
+  Alcotest.(check bool) "empty k-CAS is true" true (N.kcas []);
+  Alcotest.(check bool) "1-op k-CAS is a CAS" true
+    (N.kcas [ N.kcas_op a ~expected:1 ~desired:10 ]);
+  Alcotest.(check int) "1-op applied" 10 (N.get a);
+  Alcotest.(check bool) "1-op k-CAS fails like a CAS" false
+    (N.kcas [ N.kcas_op a ~expected:1 ~desired:99 ]);
+  Alcotest.(check bool) "3-op success" true
+    (N.kcas
+       [
+         N.kcas_op a ~expected:10 ~desired:11;
+         N.kcas_op b ~expected:2 ~desired:22;
+         N.kcas_op c ~expected:3 ~desired:33;
+       ]);
+  Alcotest.(check (list int)) "all three applied" [ 11; 22; 33 ]
+    [ N.get a; N.get b; N.get c ];
+  Alcotest.(check bool) "one stale expected fails the whole commit" false
+    (N.kcas
+       [
+         N.kcas_op a ~expected:11 ~desired:12;
+         N.kcas_op b ~expected:2 ~desired:0 (* stale *);
+         N.kcas_op c ~expected:33 ~desired:34;
+       ]);
+  Alcotest.(check (list int)) "nothing applied on failure" [ 11; 22; 33 ]
+    [ N.get a; N.get b; N.get c ]
+
+let test_native_duplicate_rejected () =
+  let a = ncell 1 and b = ncell 2 in
+  Alcotest.check_raises "same cell twice rejected"
+    (Invalid_argument "Memory.kcas: duplicate cell") (fun () ->
+      ignore
+        (N.kcas
+           [
+             N.kcas_op a ~expected:1 ~desired:2;
+             N.kcas_op b ~expected:2 ~desired:3;
+             N.kcas_op a ~expected:2 ~desired:3;
+           ]))
+
+(* A committer stalls (modeled as an exception out of the backend's
+   acquire hook) after phase-1-acquiring the first cell: its descriptor
+   is left published.  Reads peek through the undecided descriptor and
+   still see pre-commit values; the next write-intent access helps the
+   stalled commit to completion before doing its own work. *)
+let test_native_helping () =
+  let a = ncell 0 and b = ncell 10 in
+  N.kdx_acquire_hook := (fun n -> if n = 1 then raise Exit);
+  Fun.protect
+    ~finally:(fun () -> N.kdx_acquire_hook := (fun _ -> ()))
+    (fun () ->
+      (try
+         ignore
+           (N.kcas [ N.kcas_op a ~expected:0 ~desired:1; N.kcas_op b ~expected:10 ~desired:11 ]);
+         Alcotest.fail "acquire hook did not fire"
+       with Exit -> ());
+      (* cells were created in order, so [a] has the lower id and is the
+         one acquired before the stall *)
+      Alcotest.(check int) "read peeks through the undecided descriptor" 0 (N.get a);
+      Alcotest.(check int) "unacquired cell untouched" 10 (N.get b));
+  (* hook reset: an ordinary CAS on the occupied cell must first help
+     the stalled k-CAS to its decision, so it fails against the
+     committed value — and both cells carry the committer's update *)
+  Alcotest.(check bool) "helper's own CAS loses to the commit" false (N.cas a 0 5);
+  Alcotest.(check int) "helper completed the stalled commit (a)" 1 (N.get a);
+  Alcotest.(check int) "helper completed the stalled commit (b)" 11 (N.get b)
+
+let test_native_disjoint_domains () =
+  (* disjoint cell sets never conflict: every commit must succeed *)
+  let pairs = Array.init 4 (fun _ -> (ncell 0, ncell 0)) in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let x, y = pairs.(d) in
+            let ok = ref true in
+            for i = 0 to 999 do
+              ok :=
+                !ok
+                && N.kcas
+                     [ N.kcas_op x ~expected:i ~desired:(i + 1);
+                       N.kcas_op y ~expected:(-i) ~desired:(-i - 1) ]
+            done;
+            !ok))
+  in
+  Array.iter (fun d -> Alcotest.(check bool) "disjoint k-CAS never fails" true (Domain.join d)) domains;
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check int) "x counted up" 1000 (N.get x);
+      Alcotest.(check int) "y counted down" (-1000) (N.get y))
+    pairs
+
+let test_native_overlapping_transfer_stress () =
+  (* 4 domains race transfers over 8 shared cells; overlapping commits
+     fail and retry.  The total is conserved iff every commit was
+     all-or-nothing, including ones finished by helpers. *)
+  let n = 8 in
+  let cells = Array.init n (fun _ -> ncell 100) in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Ascy_util.Xorshift.create (d + 17) in
+            let moved = ref 0 in
+            for _ = 1 to 5_000 do
+              let i = Ascy_util.Xorshift.below rng n in
+              let j = (i + 1 + Ascy_util.Xorshift.below rng (n - 1)) mod n in
+              let vi = N.get cells.(i) and vj = N.get cells.(j) in
+              if
+                vi > 0
+                && N.kcas
+                     [
+                       N.kcas_op cells.(i) ~expected:vi ~desired:(vi - 1);
+                       N.kcas_op cells.(j) ~expected:vj ~desired:(vj + 1);
+                     ]
+              then incr moved
+            done;
+            !moved))
+  in
+  let moved = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  let total = Array.fold_left (fun acc c -> acc + N.get c) 0 cells in
+  Alcotest.(check bool) "some transfers landed" true (moved > 0);
+  Alcotest.(check int) "sum conserved across all commits" (n * 100) total
+
+(* ------------------------------------------------------------------ *)
+(* Simulator backend                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_semantics_and_accounting () =
+  Sim.with_sim ~seed:7 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let a = SM.make_fresh 0 and b = SM.make_fresh 10 in
+      let results = ref [] in
+      let body () =
+        let push x = results := x :: !results in
+        push (SM.kcas []);
+        push (SM.kcas [ SM.kcas_op a ~expected:0 ~desired:1; SM.kcas_op b ~expected:10 ~desired:11 ]);
+        (* stale expected: whole commit refused, nothing written *)
+        push (SM.kcas [ SM.kcas_op a ~expected:0 ~desired:2; SM.kcas_op b ~expected:11 ~desired:12 ]);
+        push (SM.get a = 1 && SM.get b = 11)
+      in
+      let makespan = Sim.run sim [| body |] in
+      Alcotest.(check (list bool)) "empty/success/stale/final" [ true; true; false; true ]
+        (List.rev !results);
+      let st = Sim.stats sim ~makespan in
+      (* the ASCY4 k-word policy's accounting: each commit attempt
+         charges one RMW per distinct touched line — two 2-line commits
+         (one failed) = 4 atomics *)
+      Alcotest.(check int) "one rmw per line per commit attempt" 4 st.Sim.atomics)
+
+let test_sim_duplicate_rejected () =
+  Sim.with_sim ~seed:7 ~platform:P.xeon20 ~nthreads:1 (fun sim ->
+      let failed = ref false in
+      let body () =
+        let a = SM.make_fresh 0 in
+        try ignore (SM.kcas [ SM.kcas_op a ~expected:0 ~desired:1; SM.kcas_op a ~expected:1 ~desired:2 ])
+        with Invalid_argument m -> failed := m = "Memory.kcas: duplicate cell"
+      in
+      ignore (Sim.run sim [| body |]);
+      Alcotest.(check bool) "same cell twice rejected in the simulator" true !failed)
+
+let test_sim_probe_atomicity () =
+  (* a 2-line commit flips (0, 0) to (1, 1); a concurrent 2-word probe
+     k-CAS — itself atomic — can witness either state but never the
+     forbidden mixed ones, no matter how the commit interleaves with
+     the prober's loop *)
+  Sim.with_sim ~seed:7 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+      let a = SM.make_fresh 0 and b = SM.make_fresh 0 in
+      let mixed = ref 0 and consistent = ref 0 in
+      let bodies =
+        [|
+          (fun () ->
+            SM.work 40;
+            assert (SM.kcas [ SM.kcas_op a ~expected:0 ~desired:1; SM.kcas_op b ~expected:0 ~desired:1 ]));
+          (fun () ->
+            for _ = 1 to 20 do
+              if
+                SM.kcas [ SM.kcas_op a ~expected:0 ~desired:0; SM.kcas_op b ~expected:1 ~desired:1 ]
+                || SM.kcas [ SM.kcas_op a ~expected:1 ~desired:1; SM.kcas_op b ~expected:0 ~desired:0 ]
+              then incr mixed;
+              if
+                SM.kcas [ SM.kcas_op a ~expected:0 ~desired:0; SM.kcas_op b ~expected:0 ~desired:0 ]
+                || SM.kcas [ SM.kcas_op a ~expected:1 ~desired:1; SM.kcas_op b ~expected:1 ~desired:1 ]
+              then incr consistent
+            done);
+        |]
+      in
+      ignore (Sim.run sim bodies);
+      Alcotest.(check int) "no probe ever sees a half-applied commit" 0 !mixed;
+      Alcotest.(check int) "every probe round sees a consistent state" 20 !consistent;
+      Alcotest.(check bool) "commit landed" true (SM.get a = 1 && SM.get b = 1))
+
+let test_sim_disjoint_and_overlapping () =
+  Sim.with_sim ~seed:7 ~platform:P.xeon20 ~nthreads:2 (fun sim ->
+      let a = SM.make_fresh 0 and b = SM.make_fresh 0 and c = SM.make_fresh 0 in
+      let d = SM.make_fresh 0 and e = SM.make_fresh 0 in
+      (* each thread owns a private cell and both bump the shared [b]:
+         read-validate-retry on b, like a PathCAS commit *)
+      let bump priv delta () =
+        let rec go tries =
+          if tries > 100 then Alcotest.fail "overlapping k-CAS starved"
+          else
+            let v = SM.get b in
+            if
+              not
+                (SM.kcas
+                   [ SM.kcas_op b ~expected:v ~desired:(v + delta); SM.kcas_op priv ~expected:0 ~desired:1 ])
+            then go (tries + 1)
+        in
+        go 0
+      in
+      let bodies =
+        [|
+          (fun () ->
+            (* disjoint pair (d, e): cannot conflict with the other thread *)
+            assert (SM.kcas [ SM.kcas_op d ~expected:0 ~desired:1; SM.kcas_op e ~expected:0 ~desired:1 ]);
+            bump a 1 ());
+          bump c 10;
+        |]
+      in
+      ignore (Sim.run sim bodies);
+      Alcotest.(check bool) "disjoint pair committed" true (SM.get d = 1 && SM.get e = 1);
+      Alcotest.(check int) "shared cell carries both overlapping updates" 11 (SM.get b);
+      Alcotest.(check bool) "both private cells committed" true (SM.get a = 1 && SM.get c = 1))
+
+let suite =
+  [
+    Alcotest.test_case "native: k-CAS semantics" `Quick test_native_semantics;
+    Alcotest.test_case "native: duplicate cell rejected" `Quick test_native_duplicate_rejected;
+    Alcotest.test_case "native: stalled committer finished by helper" `Quick test_native_helping;
+    Alcotest.test_case "native: disjoint sets never fail (4 domains)" `Quick
+      test_native_disjoint_domains;
+    Alcotest.test_case "native: overlapping transfer stress conserves (4 domains)" `Quick
+      test_native_overlapping_transfer_stress;
+    Alcotest.test_case "sim: semantics + per-line rmw accounting" `Quick
+      test_sim_semantics_and_accounting;
+    Alcotest.test_case "sim: duplicate cell rejected" `Quick test_sim_duplicate_rejected;
+    Alcotest.test_case "sim: probes never see a half-applied commit" `Quick
+      test_sim_probe_atomicity;
+    Alcotest.test_case "sim: disjoint vs overlapping commits" `Quick
+      test_sim_disjoint_and_overlapping;
+  ]

@@ -1,4 +1,4 @@
-(* Conformance suites for all eight linked-list algorithms. *)
+(* Conformance suites for all nine linked-list algorithms. *)
 
 module Ll = Ascy_linkedlist
 
@@ -12,4 +12,5 @@ let suites =
     ("ll-harris", Conformance.suite "ll-harris" (module Ll.Harris.Make));
     ("ll-michael", Conformance.suite "ll-michael" (module Ll.Michael.Make));
     ("ll-harris-opt", Conformance.suite "ll-harris-opt" (module Ll.Harris_opt.Make));
+    ("ll-pathcas", Conformance.suite "ll-pathcas" (module Ll.Pathcas_ll.Make));
   ]

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
+      ("kcas", Test_kcas.suite);
       ("locks", Test_locks.suite);
       ("ssmem+rcu", Test_ssmem.suite);
     ]

@@ -64,7 +64,7 @@ let test_run_once_verdict_invariant () =
       let m = verdict mesi name and f = verdict flat name and o = verdict moesi name in
       Alcotest.(check (option string)) (name ^ ": flat = mesi") m f;
       Alcotest.(check (option string)) (name ^ ": moesi = mesi") m o)
-    [ "ll-lazy"; "ll-async"; "ht-java"; "sl-fraser"; "bst-tk" ]
+    [ "ll-lazy"; "ll-async"; "ht-java"; "sl-fraser"; "bst-tk"; "ll-pathcas"; "bst-pathcas" ]
 
 let explore_stats model name =
   let finding, report = Sct.explore ~mode:Explorer.Dpor ~model (spec name) in
@@ -86,6 +86,18 @@ let test_flat_ll_lazy_golden_space () =
   let schedules, steps, complete, violation = explore_stats flat "ll-lazy" in
   Alcotest.(check int) "ll-lazy schedules" 2099 schedules;
   Alcotest.(check int) "ll-lazy decisions" 609_932 steps;
+  Alcotest.(check bool) "space exhausted" true complete;
+  Alcotest.(check (option string)) "no violation" None violation
+
+let test_pathcas_space_invariant () =
+  (* the k-CAS commit must be priced per touched line by every model
+     yet scheduled identically: same exhausted space, same verdict,
+     under the directory model and the O(1) flat model *)
+  let m = explore_stats mesi "ll-pathcas" in
+  Alcotest.(check bool) "flat explores the same ll-pathcas space" true
+    (explore_stats flat "ll-pathcas" = m);
+  let schedules, _, complete, violation = m in
+  Alcotest.(check int) "ll-pathcas fuzz schedules" 50 schedules;
   Alcotest.(check bool) "space exhausted" true complete;
   Alcotest.(check (option string)) "no violation" None violation
 
@@ -237,6 +249,7 @@ let suite =
     Alcotest.test_case "controlled verdicts model-invariant" `Quick test_run_once_verdict_invariant;
     Alcotest.test_case "schedule space model-invariant" `Slow test_schedule_space_invariant;
     Alcotest.test_case "flat ll-lazy pins 2099 schedules" `Slow test_flat_ll_lazy_golden_space;
+    Alcotest.test_case "ll-pathcas space model-invariant" `Slow test_pathcas_space_invariant;
     Alcotest.test_case "minimized counterexample model-invariant" `Slow
       test_minimized_counterexample_invariant;
     Alcotest.test_case "replay re-arms recorded model" `Quick test_replay_rearms_model;

@@ -259,6 +259,28 @@ let test_howley_fuzz_space_clean_and_pinned () =
   Alcotest.(check bool) "schedule space exhausted" true report.Explorer.complete;
   Alcotest.(check int) "schedule-space size pinned" 3415 report.Explorer.schedules
 
+(* The PathCAS list: every update is a single k-CAS commit, so its
+   whole schedule space is small — exhaustive DPOR (with the race
+   detector armed) proves the 2-thread duel and the 3-thread fuzz
+   spaces clean, and pins their sizes: any change to the k-CAS commit's
+   scheduling semantics (one decision point per commit, every touched
+   line a write for dependency purposes) re-shapes these spaces. *)
+let test_pathcas_spaces_clean_and_pinned () =
+  let explore spec =
+    let finding, report =
+      Sct.explore ~mode:Explorer.Dpor ~races:true
+        ~model:(Ascy_mem.Sim.model_of_name "flat")
+        spec
+    in
+    (match finding with
+    | Some f -> Alcotest.fail ("ll-pathcas violated: " ^ f.Sct.min_violation)
+    | None -> ());
+    Alcotest.(check bool) "schedule space exhausted" true report.Explorer.complete;
+    report.Explorer.schedules
+  in
+  Alcotest.(check int) "duel schedule-space size pinned" 6 (explore (duel "ll-pathcas"));
+  Alcotest.(check int) "fuzz schedule-space size pinned" 50 (explore (fuzz "ll-pathcas"))
+
 (* PCT's depth guarantee, both directions: at depth 1 there are no
    change points, so every schedule is a serial execution ordered by
    thread priority — a race needing one preemption mid-operation
@@ -346,6 +368,8 @@ let suite =
       test_pct_depth_guarantee;
     Alcotest.test_case "bst-howley fuzz space clean and pinned" `Quick
       test_howley_fuzz_space_clean_and_pinned;
+    Alcotest.test_case "ll-pathcas duel+fuzz spaces clean and pinned" `Quick
+      test_pathcas_spaces_clean_and_pinned;
     Alcotest.test_case "incomplete flag propagates into report JSON" `Quick
       test_incomplete_flag_propagates;
   ]
